@@ -1,0 +1,39 @@
+"""E1 — Section 2 email-study distribution (paper's 38/17/36/29%, 63/120).
+
+Regenerates the requirements-study numbers: classify the 120-thread
+distribution list and report each meta-query's share next to the paper's
+figure, plus the social-networking solicitation count.
+"""
+
+from repro.eval import MetaQueryClassifier
+
+PAPER = {"mq1": 38.0, "mq2": 17.0, "mq3": 36.0, "mq4": 29.0}
+
+
+def test_email_study_distribution(benchmark, corpus_small, report_writer):
+    classifier = MetaQueryClassifier()
+    report = benchmark(classifier.run_study, corpus_small.threads)
+
+    lines = [
+        "E1: Email-study distribution (paper Section 2)",
+        f"{'meta-query':12s} {'measured':>10s} {'paper':>8s}",
+    ]
+    for meta_query, paper_pct in PAPER.items():
+        lines.append(
+            f"{meta_query:12s} {report.percentage(meta_query):9.1f}% "
+            f"{paper_pct:7.1f}%"
+        )
+    lines.append(
+        f"social-networking threads: {report.social_count}/"
+        f"{report.total} (paper: 63/120)"
+    )
+    lines.append(
+        f"classifier agreement with ground truth: "
+        f"{report.label_accuracy:.0%}"
+    )
+    report_writer("E1_email_study", "\n".join(lines))
+
+    # Shape assertions: within 2 points of the paper on every share.
+    for meta_query, paper_pct in PAPER.items():
+        assert abs(report.percentage(meta_query) - paper_pct) <= 2.0
+    assert report.social_count == 63

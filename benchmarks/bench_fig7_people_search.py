@@ -1,0 +1,44 @@
+"""E6 — Figure 7 / Meta-query 2: the multi-step people search.
+
+The paper's episode: "Sam White ABC CSE" returns nothing; "Sam White
+ABC" returns 4 documents from which the deal name is learned; "ABC
+Online CSE" returns 97 documents to read.  EIL answers with one people
+query whose top deal's People tab lists everyone with roles and contact
+details.  The shape: the keyword route needs several queries and ends
+on a large reading list; EIL needs one query.
+"""
+
+from repro.eval import run_fig7
+
+
+def test_fig7_multistep_people_search(benchmark, corpus_table2, eil_table2,
+                                      report_writer):
+    report = benchmark.pedantic(
+        run_fig7, args=(corpus_table2, eil_table2), rounds=1, iterations=1
+    )
+    lines = [
+        "E6: Figure 7 - people search, keyword steps vs one EIL query",
+        f"target person                   : {report.person} "
+        f"({report.organization})",
+        f"keyword step 1 (name+org+role)  : {report.step1_docs} documents "
+        "(paper: 0)",
+        f"keyword step 2 (name+org)       : {report.step2_docs} documents "
+        "(paper: 4)",
+        f"deals identifiable from step 2  : {report.discovered_deals}",
+        f"keyword step 3 (deal+role)      : {report.step3_docs} documents "
+        "(paper: 97)",
+        f"keyword queries needed          : {report.keyword_steps} "
+        "(paper: 3)",
+        f"EIL queries needed              : 1",
+        f"EIL deals                       : {report.eil_deals}",
+        f"contacts on top deal People tab : {report.eil_contacts}",
+        f"ground-truth deals              : {report.truth_deals}",
+    ]
+    report_writer("E6_fig7", "\n".join(lines))
+
+    # Shape: the one-shot keyword query fails; EIL's single query finds
+    # a true deal and yields a populated contact list.
+    assert report.step1_docs == 0
+    assert report.keyword_steps >= 2
+    assert set(report.eil_deals) & set(report.truth_deals)
+    assert report.eil_contacts >= 5

@@ -1,0 +1,76 @@
+"""E12 — the paper's corpus magnitudes: 23 deals, ~15,000 documents.
+
+Most quality benches run on the 12-deal Table 2 subset for speed; this
+one rebuilds the full Section 4 experimental corpus (23 IT-services
+activities, ~15,000 workbook documents) and checks the Figure 4 counts
+land in the paper's order of magnitude, plus reports end-to-end build
+cost at that scale.
+"""
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem
+from repro.eval import run_fig4, run_table2
+
+
+@pytest.fixture(scope="module")
+def paper_corpus():
+    return CorpusGenerator(CorpusConfig.paper_scale()).generate()
+
+
+def test_paper_scale_fig4(benchmark, paper_corpus, report_writer):
+    corpus = paper_corpus
+
+    def build():
+        return EILSystem.build(corpus)
+
+    eil = benchmark.pedantic(build, rounds=1, iterations=1)
+    globals()["_PAPER_EIL"] = eil
+    report = run_fig4(corpus, eil)
+
+    lines = [
+        "E12: Figure 4 at the paper's corpus scale "
+        "(23 deals / ~15,000 documents)",
+        f"corpus documents                 : {report.total_docs} "
+        "(paper: ~15,000)",
+        f'keyword "End User Services"/EUS  : {report.plain_docs} '
+        "documents (paper: 261)",
+        f"keyword with subtypes spelled    : {report.expanded_docs} "
+        "documents (paper: 1132)",
+        f"blow-up factor                   : "
+        f"{report.expanded_docs / report.plain_docs:.1f}x (paper: 4.3x)",
+        f"EIL concept search               : {report.eil_deals} deals "
+        "of 23",
+        f"offline build                    : "
+        f"{eil.build_report.documents_indexed} docs indexed, "
+        f"{eil.build_report.documents_failed} failures",
+    ]
+    report_writer("E12_paper_scale", "\n".join(lines))
+
+    # The paper's magnitudes: hundreds of plain hits, low thousands
+    # once subtypes are expanded, a 2-6x blow-up, and an EIL answer in
+    # tens of activities at most.
+    assert 100 <= report.plain_docs <= 1000
+    assert 500 <= report.expanded_docs <= 4000
+    assert 2.0 <= report.expanded_docs / report.plain_docs <= 6.0
+    assert report.eil_deals <= 23
+    assert eil.build_report.documents_failed == 0
+
+
+def test_paper_scale_table2(benchmark, paper_corpus, report_writer):
+    """Table 2 at the paper's full 23-deal corpus size."""
+    eil = globals().get("_PAPER_EIL") or EILSystem.build(paper_corpus)
+
+    report = benchmark.pedantic(
+        run_table2, args=(paper_corpus, eil), rounds=1, iterations=1
+    )
+    eil_f, keyword_f = report.mean_f()
+    lines = [
+        "E12: Table 2 rerun at the paper's corpus scale (23 deals, "
+        f"{paper_corpus.document_count} docs)",
+        f"mean F: EIL {eil_f:.2f} vs keyword {keyword_f:.2f}",
+        f"EIL wins on F: {report.eil_wins()}/{len(report.rows)}",
+    ]
+    report_writer("E12_paper_scale_table2", "\n".join(lines))
+    assert eil_f > keyword_f
+    assert report.eil_wins() >= 7

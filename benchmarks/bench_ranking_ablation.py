@@ -1,0 +1,37 @@
+"""E10 — Ablation of Fig. 1's design choices: scoping + rank combination.
+
+Three policies answer the same hybrid (service, technology) queries:
+synopsis-only (concept search, no keyword evidence), unscoped keyword
+(the "search-box" policy), and the full combined EIL algorithm.  Scored
+by NDCG@10 with graded relevance and by F-measure against the strict
+hybrid-intent truth.  The shape: combined wins both, unscoped keyword
+pays for cross-family technology ambiguity.
+"""
+
+from repro.eval import run_ranking_ablation
+
+
+def test_ranking_ablation(benchmark, corpus_table2, eil_table2,
+                          report_writer):
+    report = benchmark.pedantic(
+        run_ranking_ablation, args=(corpus_table2, eil_table2),
+        rounds=1, iterations=1,
+    )
+    lines = [
+        "E10: ranking/scoping ablation over "
+        f"{report.queries} hybrid queries",
+        f"{'policy':22s} {'NDCG@10':>8s} {'F':>6s}",
+    ]
+    for label, (ndcg_value, f_value) in (
+        ("synopsis-only", report.synopsis_only),
+        ("unscoped keyword", report.unscoped_keyword),
+        ("combined (EIL)", report.combined),
+    ):
+        lines.append(f"{label:22s} {ndcg_value:8.3f} {f_value:6.3f}")
+    report_writer("E10_ablation", "\n".join(lines))
+
+    # Shape: the full algorithm dominates both single-source policies
+    # on set quality, and is at least as good on ordering.
+    assert report.combined[1] >= report.synopsis_only[1]
+    assert report.combined[1] >= report.unscoped_keyword[1]
+    assert report.combined[0] >= report.unscoped_keyword[0] - 1e-9

@@ -1,0 +1,88 @@
+"""E9 — production rollout scale (paper Section 4, closing).
+
+The paper reports the production system covering ~1000 engagements and
+500k+ documents.  This bench sweeps corpus size (proportionally scaled
+down to keep the suite fast) and measures the two costs that dominate a
+rollout: offline build throughput (index + annotate + populate) and
+online query latency — which must stay roughly flat in corpus size for
+the synopsis-first architecture to make sense.
+"""
+
+import time
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem
+from repro.core import scope_query, service_keyword_query
+from repro.security import User
+
+USER = User("bench", frozenset({"sales"}))
+
+SCALES = [4, 8, 16]
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("n_deals", SCALES)
+def test_offline_build_throughput(benchmark, n_deals):
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=2008, n_deals=n_deals, docs_per_deal=40)
+    ).generate()
+
+    def build():
+        return EILSystem.build(corpus)
+
+    eil = benchmark.pedantic(build, rounds=1, iterations=1)
+    _RESULTS[n_deals] = (corpus, eil)
+    assert eil.build_report.documents_failed == 0
+    assert eil.build_report.deals_populated == n_deals
+
+
+@pytest.mark.parametrize("n_deals", SCALES)
+def test_online_query_latency(benchmark, n_deals):
+    if n_deals not in _RESULTS:  # pragma: no cover - ordering guard
+        corpus = CorpusGenerator(
+            CorpusConfig(seed=2008, n_deals=n_deals, docs_per_deal=40)
+        ).generate()
+        _RESULTS[n_deals] = (corpus, EILSystem.build(corpus))
+    corpus, eil = _RESULTS[n_deals]
+
+    def query():
+        eil.search(scope_query("End User Services"), USER)
+        eil.search(
+            service_keyword_query("Storage Management Services",
+                                  "data replication"),
+            USER,
+        )
+
+    benchmark(query)
+
+
+def test_scale_report(benchmark, report_writer):
+    def build_report() -> str:
+        lines = [
+            "E9: rollout scale sweep (offline build + online query)",
+            f"{'deals':>6s} {'docs':>7s} {'build s':>8s} {'docs/s':>8s} "
+            f"{'query ms':>9s}",
+        ]
+        for n_deals in SCALES:
+            if n_deals not in _RESULTS:
+                continue
+            corpus, _ = _RESULTS[n_deals]
+            start = time.perf_counter()
+            fresh = EILSystem.build(corpus)
+            build_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            rounds = 5
+            for _ in range(rounds):
+                fresh.search(scope_query("End User Services"), USER)
+            query_ms = (time.perf_counter() - start) / rounds * 1000
+            docs = corpus.document_count
+            lines.append(
+                f"{n_deals:6d} {docs:7d} {build_seconds:8.2f} "
+                f"{docs / build_seconds:8.0f} {query_ms:9.2f}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    report_writer("E9_scale", text)

@@ -1,0 +1,49 @@
+"""E3 — Table 2: EIL vs OmniFind-style keyword search, P/R/F on 10 queries.
+
+The headline experiment.  Ten scope queries run over a 12-deal corpus;
+each system's retrieved deal set is scored against the generator's
+ground truth (replacing the paper's domain expert).  The paper's shape:
+keyword recall is (almost always) 1.0 with much lower precision, so EIL
+wins on F-measure for most queries.
+"""
+
+from repro.eval import run_table2
+
+
+def test_table2_eil_vs_keyword(benchmark, corpus_table2, eil_table2,
+                               report_writer):
+    report = benchmark.pedantic(
+        run_table2, args=(corpus_table2, eil_table2), rounds=1, iterations=1
+    )
+
+    lines = [
+        "E3: Table 2 - quality of EIL search vs keyword (KW) search",
+        f"{'query':36s} {'EIL P':>6s} {'EIL R':>6s} {'EIL F':>6s} "
+        f"{'KW P':>6s} {'KW R':>6s} {'KW F':>6s}",
+    ]
+    for row in report.rows:
+        lines.append(
+            f"{row.query:36s} {row.eil.precision:6.2f} "
+            f"{row.eil.recall:6.2f} {row.eil.f_measure:6.2f} "
+            f"{row.keyword.precision:6.2f} {row.keyword.recall:6.2f} "
+            f"{row.keyword.f_measure:6.2f}"
+        )
+    eil_f, keyword_f = report.mean_f()
+    lines.append(
+        f"{'MEAN':36s} {'':6s} {'':6s} {eil_f:6.2f} {'':6s} {'':6s} "
+        f"{keyword_f:6.2f}"
+    )
+    lines.append(
+        f"EIL wins on F-measure: {report.eil_wins()}/{len(report.rows)} "
+        "(paper: 8/10)"
+    )
+    report_writer("E3_table2", "\n".join(lines))
+
+    # Paper shape: EIL mean F clearly above keyword; EIL wins most
+    # queries; keyword recall is 1.0 on the overwhelming majority.
+    assert eil_f > keyword_f
+    assert report.eil_wins() >= 7
+    keyword_recall_perfect = sum(
+        1 for row in report.rows if row.keyword.recall == 1.0
+    )
+    assert keyword_recall_perfect >= 8

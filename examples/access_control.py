@@ -1,0 +1,69 @@
+"""Access control: the synopsis-only fallback (paper Section 3.1).
+
+Demonstrates the paper's design point: *"if a user is not authorized to
+access a data repository, the system presents to the user only a
+synopsis of the desired information including a list of contact persons
+with whom the user could communicate."*  Document search stops at the
+ACL; EIL's extracted context does not.
+
+Run with::
+
+    python examples/access_control.py
+"""
+
+from repro import (
+    AccessController,
+    CorpusConfig,
+    CorpusGenerator,
+    EILSystem,
+    User,
+)
+from repro.core import service_keyword_query
+
+
+def main() -> None:
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=11, n_deals=6, docs_per_deal=24)
+    ).generate()
+
+    # Lock every workbook down; grant only the delivery role access to
+    # the first two, and one named user to the third.
+    access = AccessController(default_open=False)
+    workbooks = list(corpus.collection)
+    access.grant_role(workbooks[0].name, "delivery")
+    access.grant_role(workbooks[1].name, "delivery")
+    access.grant_user(workbooks[2].name, "bob")
+
+    eil = EILSystem.build(corpus, access=access)
+
+    query = service_keyword_query("Storage Management Services",
+                                  "data replication")
+
+    for user in (
+        User("alice", frozenset({"sales"})),
+        User("bob", frozenset({"sales"})),
+        User("carol", frozenset({"delivery"})),
+        User("root", frozenset({"admin"})),
+    ):
+        results = eil.search(query, user)
+        print(f"--- {user.user_id} (roles: {sorted(user.roles)}) ---")
+        if not results.activities:
+            print("   no matching activities")
+        for activity in results.activities:
+            if activity.documents:
+                print(f"   {activity.name}: {len(activity.documents)} "
+                      "documents visible")
+            elif activity.documents_withheld:
+                synopsis = eil.synopsis(activity.deal_id, user)
+                contacts = synopsis.contacts()[:3]
+                names = ", ".join(c.name for c in contacts)
+                print(f"   {activity.name}: documents WITHHELD - synopsis "
+                      f"offers {len(synopsis.contacts())} contacts "
+                      f"(e.g. {names})")
+            else:
+                print(f"   {activity.name}: no documents matched")
+        print()
+
+
+if __name__ == "__main__":
+    main()

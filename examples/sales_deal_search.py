@@ -1,0 +1,124 @@
+"""All four meta-queries (paper Section 2), end to end.
+
+Walks through the exact information needs the paper derived from the
+sales community's email distribution list, showing for each one how the
+keyword baseline struggles and what EIL returns instead.
+
+Run with::
+
+    python examples/sales_deal_search.py
+"""
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro.core import (
+    render_results,
+    role_capacity_query,
+    scope_query,
+    service_keyword_query,
+    worked_with_query,
+)
+
+USER = User("alice", frozenset({"sales"}))
+
+
+def meta_query_1(corpus, eil) -> None:
+    """Which engagements have a scope that involves <this service>?"""
+    print("=" * 72)
+    print("META-QUERY 1: deals with End User Services in scope")
+    print("=" * 72)
+    naive = eil.keyword_count('"End User Services" OR EUS')
+    expanded = eil.keyword_count(
+        '"End User Services" OR EUS OR CSC OR "Customer Service Center" '
+        'OR "Customer Services Center" OR DCS '
+        'OR "Distributed Client Services" '
+        'OR "Distributed Computing Services"'
+    )
+    print(f"keyword, service name only : {naive} documents")
+    print(f"keyword, subtypes spelled  : {expanded} documents (Figure 4)")
+    results = eil.search(scope_query("End User Services"), USER)
+    truth = {d.name for d in corpus.deals_with_service("End User Services")}
+    print(f"EIL                        : {len(results.activities)} deals "
+          f"(truth: {sorted(truth)})")
+    for activity in results.activities:
+        print(f"   {activity.name}  relevance={activity.score:.2f}")
+    print()
+
+
+def meta_query_2(corpus, eil) -> None:
+    """Who in <role> has worked with <person> in <organization>?"""
+    member = next(
+        m for d in corpus.deals for m in d.team
+        if m.category == "client team"
+    )
+    person = member.person
+    print("=" * 72)
+    print(f"META-QUERY 2: who worked with {person.full_name} "
+          f"({person.organization})?")
+    print("=" * 72)
+    step1 = eil.keyword_count(
+        f'"{person.full_name}" {person.organization.split()[0]} CSE'
+    )
+    print(f"keyword step 1 (name+org+role): {step1} documents")
+    results = eil.search(
+        worked_with_query(person.full_name, person.organization), USER
+    )
+    print(f"EIL (one people query): deals {results.deal_ids}")
+    if results.deal_ids:
+        synopsis = eil.synopsis(results.deal_ids[0], USER)
+        print(f"People tab of {synopsis.name} "
+              f"({len(synopsis.contacts())} contacts):")
+        for category in sorted(synopsis.people):
+            names = ", ".join(c.name for c in synopsis.people[category][:4])
+            print(f"   {category}: {names}")
+    print()
+
+
+def meta_query_3(corpus, eil) -> None:
+    """Who has worked in the capacity of <this role>?"""
+    print("=" * 72)
+    print("META-QUERY 3: who has worked as a cross tower TSA?")
+    print("=" * 72)
+    hits = eil.keyword_search('"cross tower TSA"')
+    print(f"keyword: {len(hits)} documents (mostly empty schema fields)")
+    results = eil.search(role_capacity_query("cross tower TSA"), USER)
+    print(f"EIL: {len(results.activities)} deals with the role on the "
+          "contact list:")
+    for activity in results.activities[:5]:
+        synopsis = eil.synopsis(activity.deal_id, USER)
+        holders = [
+            c.name for c in synopsis.contacts()
+            if c.role == "Cross Tower Technical Solution Architect"
+        ]
+        print(f"   {activity.name}: {', '.join(holders)}")
+    print()
+
+
+def meta_query_4(corpus, eil) -> None:
+    """Who did <service> engagements involving <keyword>?"""
+    print("=" * 72)
+    print("META-QUERY 4: Storage Management Services deals involving "
+          '"data replication"')
+    print("=" * 72)
+    results = eil.search(
+        service_keyword_query("Storage Management Services",
+                              "data replication"),
+        USER,
+    )
+    print(f"SIAPI query scoped to synopsis matches: {results.scoped}")
+    print(render_results(results))
+    print()
+
+
+def main() -> None:
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=2008, n_deals=10, docs_per_deal=40)
+    ).generate()
+    eil = EILSystem.build(corpus)
+    meta_query_1(corpus, eil)
+    meta_query_2(corpus, eil)
+    meta_query_3(corpus, eil)
+    meta_query_4(corpus, eil)
+
+
+if __name__ == "__main__":
+    main()

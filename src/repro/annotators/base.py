@@ -1,0 +1,64 @@
+"""Shared EIL annotation types and annotator base class.
+
+All EIL annotators add annotations in the ``eil.*`` namespace; document
+structure lives in ``doc.*`` (see :mod:`repro.docmodel.parsers`).  The
+type definitions here are the contract between document-level annotators
+and the collection-processing consumers that aggregate their output.
+"""
+
+from __future__ import annotations
+
+from repro.uima.engine import AnalysisEngine
+from repro.uima.typesystem import TypeSystem
+
+__all__ = ["register_eil_types", "EilAnnotator", "EIL_TYPE_NAMES"]
+
+EIL_TYPE_NAMES = (
+    "eil.Service",
+    "eil.Person",
+    "eil.Email",
+    "eil.Phone",
+    "eil.Money",
+    "eil.Date",
+    "eil.Technology",
+    "eil.WinStrategy",
+    "eil.ClientReference",
+    "eil.ContextField",
+)
+
+_DEFINITIONS = {
+    # A mention of a service from the taxonomy.  ``canonical`` is the
+    # resolved service name, ``tower`` its top-level ancestor, and
+    # ``weight`` the evidence strength the producing annotator assigns
+    # (scope decks outweigh passing mentions).
+    "eil.Service": ["canonical", "surface", "tower", "weight"],
+    # A person mention with whatever fields were recoverable.
+    "eil.Person": [
+        "name", "email", "phone", "organization", "role", "category",
+        "source",
+    ],
+    "eil.Email": ["address"],
+    "eil.Phone": ["number"],
+    "eil.Money": ["band"],
+    "eil.Date": ["iso"],
+    "eil.Technology": ["term", "tower"],
+    "eil.WinStrategy": ["text"],
+    "eil.ClientReference": ["text"],
+    # A structured synopsis field extracted from overview forms.
+    "eil.ContextField": ["name", "value"],
+}
+
+
+def register_eil_types(type_system: TypeSystem) -> TypeSystem:
+    """Register all ``eil.*`` annotation types (idempotent)."""
+    for name, features in _DEFINITIONS.items():
+        if name not in type_system:
+            type_system.define(name, features)
+    return type_system
+
+
+class EilAnnotator(AnalysisEngine):
+    """Base class wiring EIL type registration into every annotator."""
+
+    def initialize_types(self, type_system: TypeSystem) -> None:
+        register_eil_types(type_system)

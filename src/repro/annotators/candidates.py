@@ -1,0 +1,107 @@
+"""Learned candidate identification (the paper's stated future work).
+
+Section 3.2.1: *"We could further leverage machine learning techniques
+to help us identify the candidates for the annotator in order to
+improve the quality."*  The shipped system uses hand-written candidacy
+rules (:func:`repro.annotators.social.candidate_document`); this module
+trains a Naive Bayes model to make the same decision from document text
+and metadata, so the rule can be replaced — or audited — by a learned
+one.
+
+Usage::
+
+    selector = LearnedCandidateSelector()
+    selector.train_from_rule(cases, candidate_document)   # bootstrap
+    aggregate = AggregateAnalysisEngine(
+        "social", [(SocialNetworkingAnnotator(), selector.predicate())]
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.annotators.classifier import NaiveBayesClassifier
+from repro.errors import AnnotatorError
+from repro.uima.cas import Cas
+
+__all__ = ["LearnedCandidateSelector"]
+
+
+def _featurize(cas: Cas) -> str:
+    """The text the selector learns from: metadata tokens + the title.
+
+    Candidacy is a property of what a document *is* (genre, naming
+    conventions), not of its full content, so featurization sticks to
+    the doc-type tag, the title words, and the first line — adding the
+    whole body would drown the decisive title tokens in topical noise.
+    """
+    first_line = cas.text.split("\n", 1)[0][:120]
+    # The doc-type token is repeated so it outweighs incidental title
+    # tokens (deal names, numbering) under multinomial Naive Bayes.
+    doctype = f"doctype_{cas.metadata.get('doc_type', 'unknown')}"
+    return " ".join(
+        (
+            doctype, doctype, doctype,
+            str(cas.metadata.get("title", "")),
+            first_line,
+        )
+    )
+
+
+class LearnedCandidateSelector:
+    """Learns which documents are worth running an annotator on."""
+
+    def __init__(self, classifier: Optional[NaiveBayesClassifier] = None):
+        self.classifier = classifier or NaiveBayesClassifier()
+        self._trained = False
+
+    def train(
+        self, examples: Iterable[tuple]
+    ) -> None:
+        """Train on ``(cas, is_candidate)`` pairs."""
+        batch: List[tuple] = []
+        for cas, is_candidate in examples:
+            label = "candidate" if is_candidate else "skip"
+            batch.append((_featurize(cas), label))
+        if not batch:
+            raise AnnotatorError("no training examples")
+        self.classifier.train(batch)
+        self._trained = True
+
+    def train_from_rule(
+        self,
+        cases: Iterable[Cas],
+        rule: Callable[[Cas], bool],
+    ) -> int:
+        """Bootstrap from an existing hand-written candidacy rule.
+
+        This is the practical migration path the paper implies: use the
+        deployed rule as a silver-standard labeler, then extend the
+        training set with human corrections.  Returns the example count.
+        """
+        examples = [(cas, rule(cas)) for cas in cases]
+        self.train(examples)
+        return len(examples)
+
+    def is_candidate(self, cas: Cas) -> bool:
+        """Learned candidacy decision."""
+        if not self._trained:
+            raise AnnotatorError("selector is not trained")
+        return self.classifier.predict(_featurize(cas)) == "candidate"
+
+    def predicate(self) -> Callable[[Cas], bool]:
+        """A flow-control predicate for AggregateAnalysisEngine."""
+        return self.is_candidate
+
+    def agreement_with(
+        self, cases: Iterable[Cas], rule: Callable[[Cas], bool]
+    ) -> float:
+        """Fraction of documents where the model matches the rule."""
+        cases = list(cases)
+        if not cases:
+            return 1.0
+        matches = sum(
+            1 for cas in cases if self.is_candidate(cas) == rule(cas)
+        )
+        return matches / len(cases)

@@ -1,0 +1,67 @@
+"""Composite annotator (Table 1, row 5): the standard EIL pipeline.
+
+Assembles the primitive annotators — regex contact details, ontology
+services, heuristics person mentions, social networking, technologies,
+win strategies, client references, context fields — into one aggregate
+with the flow control EIL uses (social analysis only on candidate
+documents, per paper Fig. 3 steps 1-2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.annotators.classifier import (
+    NaiveBayesClassifier,
+    SectionClassifierAnnotator,
+)
+from repro.annotators.content import (
+    ClientReferenceAnnotator,
+    ContextFieldAnnotator,
+    TechnologyAnnotator,
+    WinStrategyAnnotator,
+)
+from repro.annotators.heuristics import PersonHeuristicAnnotator
+from repro.annotators.ontology import OntologyServiceAnnotator
+from repro.annotators.regex import build_contact_annotator
+from repro.annotators.social import SocialNetworkingAnnotator, candidate_document
+from repro.corpus.taxonomy import ServiceTaxonomy
+from repro.uima.engine import AggregateAnalysisEngine
+
+__all__ = ["build_eil_pipeline"]
+
+
+def build_eil_pipeline(
+    taxonomy: ServiceTaxonomy,
+    strategy_classifier: Optional[NaiveBayesClassifier] = None,
+) -> AggregateAnalysisEngine:
+    """The full document-level EIL annotation pipeline.
+
+    Args:
+        taxonomy: Services taxonomy for the ontology and technology
+            annotators.
+        strategy_classifier: Optional trained classifier; when given, a
+            classifier-based win-strategy annotator runs *instead of*
+            the pattern-based one (Table 1's classifier row in action).
+    """
+    strategy_engine = (
+        SectionClassifierAnnotator(
+            strategy_classifier, positive_label="strategy",
+            name="win-strategies",
+        )
+        if strategy_classifier is not None
+        else WinStrategyAnnotator()
+    )
+    return AggregateAnalysisEngine(
+        "eil-pipeline",
+        [
+            build_contact_annotator(),
+            OntologyServiceAnnotator(taxonomy),
+            PersonHeuristicAnnotator(),
+            (SocialNetworkingAnnotator(), candidate_document),
+            TechnologyAnnotator(taxonomy),
+            strategy_engine,
+            ClientReferenceAnnotator(),
+            ContextFieldAnnotator(),
+        ],
+    )

@@ -1,0 +1,121 @@
+"""The "blob of text" alternative to the social annotator.
+
+Paper Section 3.2.1 sketches an alternative EIL chose *not* to adopt:
+*"use advanced entity analytics to identify names and use patterns to
+annotate phone numbers, emails etc., and then use co-occurrence
+techniques to connect them up"* — and argues that exploiting document
+structure "would perform better than just blindly applying patterns
+interpreting the entire data as a blob of text."
+
+This module implements that alternative so the claim can be tested
+(see ``benchmarks/bench_structure_ablation.py``): a pattern-based
+entity recognizer over flat text (capitalized-name heuristic + the
+regex contact patterns) followed by window-based co-occurrence linking
+of names to emails, phones and role words.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.annotators.base import EilAnnotator
+from repro.annotators.heuristics import ROLE_TERM_RE
+from repro.annotators.regex import EMAIL_PATTERN, PHONE_PATTERN
+from repro.text.normalize import (
+    normalize_email,
+    normalize_person_name,
+    normalize_phone,
+    normalize_role,
+)
+from repro.uima.cas import Cas
+
+__all__ = ["CooccurrenceSocialAnnotator"]
+
+# "Advanced entity analytics" stand-in: capitalized bigrams that are not
+# sentence-initial common words.  Deliberately structure-blind.
+_NAME_RE = re.compile(
+    r"\b([A-Z][a-z]{2,})\s+([A-Z][a-z]{2,}(?:-[A-Z][a-z]+)?)\b"
+)
+_ROLE_RE = re.compile(ROLE_TERM_RE)
+
+# Words that commonly start capitalized bigrams without being names —
+# the precision leak the paper predicts for the blob approach.
+_NOT_NAMES = frozenset(
+    """
+    The This That These Those There Here Standard Service Services
+    Customer Client Delivery Contract Weekly Meeting Action Travel
+    Storage Network Security Deal Total Win Technology Technical
+    Disaster End User Data Human Application Asset Procurement
+    Mainframe Midrange Voice Infrastructure Compliance Help Desk
+    Solution Industry Phase Options Additional Scope
+    """.split()
+)
+
+
+class CooccurrenceSocialAnnotator(EilAnnotator):
+    """Structure-blind person extraction via windowed co-occurrence.
+
+    Args:
+        window: Character distance within which an email / phone / role
+            is linked to a detected name.
+    """
+
+    name = "cooccurrence-social"
+
+    def __init__(self, window: int = 120) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def process(self, cas: Cas) -> None:
+        text = cas.text
+        names: List[Tuple[int, int, str]] = []
+        for match in _NAME_RE.finditer(text):
+            first, last = match.group(1), match.group(2)
+            if first in _NOT_NAMES or last in _NOT_NAMES:
+                continue
+            names.append((match.start(), match.end(), match.group(0)))
+        if not names:
+            return
+        emails = [
+            (m.start(), normalize_email(m.group(0)))
+            for m in EMAIL_PATTERN.finditer(text)
+        ]
+        phones = []
+        for match in PHONE_PATTERN.finditer(text):
+            normalized = normalize_phone(match.group(0))
+            if normalized:
+                phones.append((match.start(), normalized))
+        roles = [
+            (m.start(), normalize_role(m.group(0)))
+            for m in _ROLE_RE.finditer(text)
+        ]
+        for begin, end, surface in names:
+            features: Dict[str, object] = {
+                "name": normalize_person_name(surface),
+                "source": "cooccurrence",
+            }
+            email = self._nearest(emails, begin)
+            if email is not None:
+                features["email"] = email
+            phone = self._nearest(phones, begin)
+            if phone is not None:
+                features["phone"] = phone
+            role = self._nearest(roles, begin)
+            if role is not None:
+                features["role"] = role
+            cas.annotate("eil.Person", begin, end, **features)
+
+    def _nearest(
+        self, items: List[Tuple[int, str]], position: int
+    ) -> Optional[str]:
+        """Closest item within the window, else None."""
+        best_value: Optional[str] = None
+        best_distance = self.window + 1
+        for item_position, value in items:
+            distance = abs(item_position - position)
+            if distance < best_distance:
+                best_distance = distance
+                best_value = value
+        return best_value

@@ -1,0 +1,108 @@
+"""Scope aggregation CPE (paper Section 3.4's worked example).
+
+*"Scopes of business activities are first extracted by a document-level
+annotator and then fed into a CPE, which aggregates them across a
+business activity, counts their occurrences with regard to the activity
+and identifies the ones that can be regarded as its scopes."*
+
+:class:`ScopeAggregator` consumes the ``eil.Service`` annotations the
+ontology annotator produced, but only from *candidate* documents
+(scope decks and technology-solution write-ups — minutes, emails and
+boilerplate appendices are not scope evidence), sums their evidence
+weights per (deal, service), and declares a service in scope when its
+total weight reaches the significance threshold.  The surviving services
+are ordered by weight — the paper's Figure 5 tower ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.uima.cas import Cas
+from repro.uima.cpe import CasConsumer
+
+__all__ = ["ScopeEntry", "ScopeAggregator", "scope_candidate_document"]
+
+
+def scope_candidate_document(cas: Cas) -> bool:
+    """Is this document scope evidence?
+
+    Candidates: presentations (scope decks live there) and technology-
+    solution documents.  Everything else mentions services too freely.
+    """
+    doc_type = cas.metadata.get("doc_type")
+    if doc_type == "presentation":
+        return True
+    title = str(cas.metadata.get("title", "")).lower()
+    return doc_type == "text" and "technology solution" in title
+
+
+@dataclass(frozen=True)
+class ScopeEntry:
+    """One service judged to be in a deal's scope.
+
+    Attributes:
+        canonical: Canonical service name.
+        tower: Its top-level tower.
+        weight: Accumulated evidence weight (drives ordering).
+        mentions: Raw mention count across candidate documents.
+    """
+
+    canonical: str
+    tower: str
+    weight: float
+    mentions: int
+
+
+class ScopeAggregator(CasConsumer):
+    """Counts service evidence per deal; thresholds into scopes.
+
+    Args:
+        min_weight: Significance threshold; a service below it is not
+            reported as scope even if mentioned (filters passing
+            mentions and weakly-phrased tails).
+    """
+
+    name = "scope-aggregator"
+
+    def __init__(self, min_weight: float = 4.0) -> None:
+        self.min_weight = min_weight
+        self._weights: Dict[Tuple[str, str], float] = {}
+        self._mentions: Dict[Tuple[str, str], int] = {}
+        self._towers: Dict[str, str] = {}
+
+    def process_cas(self, cas: Cas) -> None:
+        if not scope_candidate_document(cas):
+            return
+        deal_id = str(cas.metadata.get("deal_id", ""))
+        if not deal_id:
+            return
+        for service in cas.select("eil.Service"):
+            canonical = str(service.get("canonical", ""))
+            if not canonical:
+                continue
+            key = (deal_id, canonical)
+            self._weights[key] = (
+                self._weights.get(key, 0.0) + float(service.get("weight", 1.0))
+            )
+            self._mentions[key] = self._mentions.get(key, 0) + 1
+            self._towers[canonical] = str(service.get("tower", canonical))
+
+    def collection_process_complete(self) -> Dict[str, List[ScopeEntry]]:
+        """deal_id -> significant scopes, most significant first."""
+        by_deal: Dict[str, List[ScopeEntry]] = {}
+        for (deal_id, canonical), weight in self._weights.items():
+            if weight < self.min_weight:
+                continue
+            by_deal.setdefault(deal_id, []).append(
+                ScopeEntry(
+                    canonical=canonical,
+                    tower=self._towers.get(canonical, canonical),
+                    weight=weight,
+                    mentions=self._mentions[(deal_id, canonical)],
+                )
+            )
+        for entries in by_deal.values():
+            entries.sort(key=lambda e: (-e.weight, e.canonical))
+        return by_deal

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — build a small system and run the four meta-queries.
+* ``search``  — build (or load) a system and run one form query.
+* ``study``   — reproduce the Section 2 email study.
+* ``build``   — run the offline pipeline and save the organized
+  information to a JSON snapshot.
+* ``synopsis`` — print one deal's synopsis by name or id.
+
+The CLI always works on the synthetic corpus (seeded, so results are
+reproducible); flags control scale and the query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.eil import EILSystem
+from repro.core.facets import FacetService
+from repro.core.metaqueries import (
+    role_capacity_query,
+    scope_query,
+    service_keyword_query,
+    worked_with_query,
+)
+from repro.core.presentation import (
+    render_deal_list,
+    render_results,
+    render_synopsis,
+)
+from repro.core.query_analyzer import FormQuery
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.db.persistence import dump_database
+from repro.eval.study import MetaQueryClassifier
+from repro.security.access import User
+
+__all__ = ["main", "build_parser"]
+
+_USER = User("cli", frozenset({"sales"}))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EIL: business-activity driven enterprise search "
+                    "(ICDE 2008 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2008,
+                        help="corpus seed (default: 2008)")
+    parser.add_argument("--deals", type=int, default=8,
+                        help="number of deals to generate (default: 8)")
+    parser.add_argument("--docs", type=int, default=30,
+                        help="documents per deal (default: 30)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the four meta-queries")
+
+    search = commands.add_parser("search", help="run one form query")
+    search.add_argument("--tower", default="", help="service concept")
+    search.add_argument("--industry", default="")
+    search.add_argument("--person", default="", help="contact name")
+    search.add_argument("--organization", default="")
+    search.add_argument("--role", default="")
+    search.add_argument("--text", default="",
+                        help='keyword criteria ("all of these words")')
+    search.add_argument("--phrase", default="", help="exact phrase")
+    search.add_argument("--limit", type=int, default=None)
+    search.add_argument("--facets", action="store_true",
+                        help="print facet counts for the result set")
+
+    study = commands.add_parser("study",
+                                help="reproduce the Section 2 study")
+    study.add_argument("--threads", type=int, default=120)
+
+    build = commands.add_parser(
+        "build", help="run the offline pipeline, save a DB snapshot"
+    )
+    build.add_argument("output", help="snapshot path (JSON)")
+
+    synopsis = commands.add_parser("synopsis", help="print one synopsis")
+    synopsis.add_argument("deal", help="deal name (DEAL A) or deal id")
+
+    return parser
+
+
+def _make_system(args: argparse.Namespace) -> tuple:
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=args.seed, n_deals=args.deals,
+                     docs_per_deal=args.docs)
+    ).generate()
+    return corpus, EILSystem.build(corpus)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    corpus, eil = _make_system(args)
+    member = corpus.deals[0].team[0]
+    queries = (
+        ("MQ1  scope: End User Services",
+         scope_query("End User Services")),
+        (f"MQ2  worked with {member.person.full_name}",
+         worked_with_query(member.person.full_name)),
+        ("MQ3  role: cross tower TSA",
+         role_capacity_query("cross tower TSA")),
+        ('MQ4  Storage Management Services + "data replication"',
+         service_keyword_query("Storage Management Services",
+                               "data replication")),
+    )
+    for title, form in queries:
+        print("=" * 60)
+        print(title)
+        print("=" * 60)
+        print(render_results(eil.search(form, _USER)))
+        print()
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    _, eil = _make_system(args)
+    form = FormQuery(
+        tower=args.tower,
+        industry=args.industry,
+        person_name=args.person,
+        organization=args.organization,
+        role=args.role,
+        all_words=args.text,
+        exact_phrase=args.phrase,
+    )
+    print(form.describe())
+    results = eil.search(form, _USER, limit=args.limit)
+    for step in results.plan:
+        if "did you mean" in step:
+            print(step)
+    print(render_results(results))
+    if args.facets and results.activities:
+        facets = FacetService(eil.organized).facets(results.deal_ids)
+        print("\nRefine by:")
+        for name, values in facets.items():
+            if values:
+                preview = ", ".join(
+                    f"{value} ({count})" for value, count in values[:4]
+                )
+                print(f"  {name}: {preview}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=args.seed, n_deals=args.deals,
+                     docs_per_deal=args.docs, n_threads=args.threads)
+    ).generate()
+    report = MetaQueryClassifier().run_study(corpus.threads)
+    print(f"threads: {report.total}")
+    for meta_query in ("mq1", "mq2", "mq3", "mq4"):
+        print(f"  {meta_query}: {report.type_counts.get(meta_query, 0)}"
+              f" ({report.percentage(meta_query):.1f}%)")
+    print(f"  social: {report.social_count} "
+          f"({report.social_percentage():.1f}%)")
+    print(f"  classifier/ground-truth agreement: "
+          f"{report.label_accuracy:.0%}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    _, eil = _make_system(args)
+    dump_database(eil.organized.db, args.output)
+    report = eil.build_report
+    print(f"indexed {report.documents_indexed} documents, populated "
+          f"{report.deals_populated} deals; snapshot -> {args.output}")
+    return 0
+
+
+def _cmd_synopsis(args: argparse.Namespace) -> int:
+    _, eil = _make_system(args)
+    wanted = args.deal.strip().lower()
+    for deal_id in eil.deal_ids():
+        synopsis = eil.synopsis(deal_id, _USER)
+        if wanted in (deal_id.lower(), synopsis.name.lower()):
+            print(render_synopsis(synopsis))
+            return 0
+    print(f"no deal named {args.deal!r}; known deals:", file=sys.stderr)
+    synopses = [eil.synopsis(d, _USER) for d in eil.deal_ids()]
+    print(render_deal_list(synopses), file=sys.stderr)
+    return 1
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "search": _cmd_search,
+    "study": _cmd_study,
+    "build": _cmd_build,
+    "synopsis": _cmd_synopsis,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,32 @@
+"""Data Acquisition (paper Figure 2, leftmost offline component).
+
+Crawls the engagement-workbook repositories into the semantic index
+(the OmniFind substitute).  Kept as its own stage so the rebuild
+cadence of the index can differ from the analysis pipeline's, as in the
+paper's production deployment.
+"""
+
+from __future__ import annotations
+
+from repro.docmodel.repository import WorkbookCollection
+from repro.search.crawler import Crawler, CrawlReport
+from repro.search.engine import SearchEngine
+
+__all__ = ["DataAcquisition"]
+
+
+class DataAcquisition:
+    """Builds and maintains the semantic index over workbooks."""
+
+    def __init__(self, engine: SearchEngine) -> None:
+        self.engine = engine
+        self._crawler = Crawler(engine)
+
+    def acquire(self, collection: WorkbookCollection) -> CrawlReport:
+        """Crawl every workbook in the collection into the index."""
+        return self._crawler.crawl_all(iter(collection))
+
+    @property
+    def indexed_documents(self) -> int:
+        """Documents currently in the semantic index."""
+        return len(self.engine)

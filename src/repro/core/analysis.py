@@ -1,0 +1,162 @@
+"""Information Analysis: the offline annotate-and-aggregate stage.
+
+Orchestrates paper Figure 2's middle column: parse every workbook
+document into a CAS, run the composite annotator pipeline, and feed the
+collection-processing consumers that produce per-deal structured
+results — contacts (Fig. 3), scopes (Section 3.4), overview context,
+win strategies, technologies and client references.  The results are
+then handed to :class:`~repro.core.organized.OrganizedInformation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.annotators.base import register_eil_types
+from repro.annotators.classifier import NaiveBayesClassifier
+from repro.annotators.composite import build_eil_pipeline
+from repro.annotators.scope import ScopeAggregator, ScopeEntry
+from repro.annotators.social import ContactRecord, ContactRollup
+from repro.corpus.taxonomy import ServiceTaxonomy
+from repro.docmodel.parsers import DocumentParser, register_structure_types
+from repro.docmodel.repository import WorkbookCollection
+from repro.intranet.directory import PersonnelDirectory
+from repro.uima.cas import Cas
+from repro.uima.cpe import CasConsumer, CollectionProcessingEngine
+from repro.uima.typesystem import TypeSystem
+
+__all__ = ["AnalysisResults", "FeatureRollup", "InformationAnalysis"]
+
+
+class FeatureRollup(CasConsumer):
+    """Generic per-deal collector of one annotation type's feature values.
+
+    Collects de-duplicated feature tuples per deal, preserving first-seen
+    order — used for context fields, win strategies, technologies and
+    client references.
+    """
+
+    def __init__(self, name: str, type_name: str, features: Tuple[str, ...]):
+        self.name = name
+        self.type_name = type_name
+        self.features = features
+        self._by_deal: Dict[str, List[Tuple[str, ...]]] = {}
+        self._seen: Set[Tuple[str, Tuple[str, ...]]] = set()
+
+    def process_cas(self, cas: Cas) -> None:
+        deal_id = str(cas.metadata.get("deal_id", ""))
+        if not deal_id or self.type_name not in cas.type_system:
+            return
+        for annotation in cas.select(self.type_name):
+            values = tuple(
+                str(annotation.get(feature, "")) for feature in self.features
+            )
+            key = (deal_id, values)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._by_deal.setdefault(deal_id, []).append(values)
+
+    def collection_process_complete(self) -> Dict[str, List[Tuple[str, ...]]]:
+        return self._by_deal
+
+
+@dataclass
+class AnalysisResults:
+    """Everything the offline analysis produced, keyed by deal id."""
+
+    contacts: Dict[str, List[ContactRecord]] = field(default_factory=dict)
+    scopes: Dict[str, List[ScopeEntry]] = field(default_factory=dict)
+    context: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    strategies: Dict[str, List[str]] = field(default_factory=dict)
+    technologies: Dict[str, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    references: Dict[str, List[str]] = field(default_factory=dict)
+    documents_processed: int = 0
+    documents_failed: int = 0
+
+
+class InformationAnalysis:
+    """Runs the full offline analysis over a workbook collection."""
+
+    def __init__(
+        self,
+        taxonomy: ServiceTaxonomy,
+        directory: Optional[PersonnelDirectory] = None,
+        scope_min_weight: float = 4.0,
+        strategy_classifier: Optional[NaiveBayesClassifier] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.directory = directory
+        self.scope_min_weight = scope_min_weight
+        self.type_system = TypeSystem()
+        register_structure_types(self.type_system)
+        register_eil_types(self.type_system)
+        self.parser = DocumentParser(self.type_system)
+        self.pipeline = build_eil_pipeline(taxonomy, strategy_classifier)
+        self.pipeline.initialize_types(self.type_system)
+
+    def analyze(self, collection: WorkbookCollection) -> AnalysisResults:
+        """Parse + annotate + aggregate one collection."""
+        contact_rollup = ContactRollup(self.directory)
+        scope_aggregator = ScopeAggregator(self.scope_min_weight)
+        context_rollup = FeatureRollup(
+            "context", "eil.ContextField", ("name", "value")
+        )
+        strategy_rollup = FeatureRollup(
+            "strategies", "eil.WinStrategy", ("text",)
+        )
+        technology_rollup = FeatureRollup(
+            "technologies", "eil.Technology", ("term", "tower")
+        )
+        reference_rollup = FeatureRollup(
+            "references", "eil.ClientReference", ("text",)
+        )
+        cpe = CollectionProcessingEngine(
+            self.pipeline,
+            [
+                contact_rollup,
+                scope_aggregator,
+                context_rollup,
+                strategy_rollup,
+                technology_rollup,
+                reference_rollup,
+            ],
+        )
+        report = cpe.run(
+            self.parser.to_cas(document)
+            for document in collection.all_documents()
+        )
+        results = AnalysisResults(
+            contacts=report.consumer_results["contact-rollup"],
+            scopes=report.consumer_results["scope-aggregator"],
+            context={
+                deal_id: {name: value for name, value in pairs}
+                for deal_id, pairs in report.consumer_results[
+                    "context"
+                ].items()
+            },
+            strategies={
+                deal_id: [text for (text,) in rows]
+                for deal_id, rows in report.consumer_results[
+                    "strategies"
+                ].items()
+            },
+            technologies={
+                deal_id: [(term, tower) for term, tower in rows]
+                for deal_id, rows in report.consumer_results[
+                    "technologies"
+                ].items()
+            },
+            references={
+                deal_id: [text for (text,) in rows]
+                for deal_id, rows in report.consumer_results[
+                    "references"
+                ].items()
+            },
+            documents_processed=report.documents_processed,
+            documents_failed=report.documents_failed,
+        )
+        return results

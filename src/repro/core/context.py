@@ -1,0 +1,120 @@
+"""Business-activity context: the deal synopsis (paper Figure 6).
+
+The synopsis is the per-activity structured view EIL presents first:
+Overview, Towers (ordered by significance), People (grouped into the
+contact categories), Win Strategies, Client References and Technology
+Solutions tabs — assembled from the organized-information tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.organized import OrganizedInformation
+from repro.errors import ProgrammingError
+
+__all__ = ["ContactView", "DealSynopsis", "SynopsisBuilder"]
+
+
+@dataclass(frozen=True)
+class ContactView:
+    """One contact as shown on the People tab."""
+
+    name: str
+    role: str
+    category: str
+    email: str
+    phone: str
+    organization: str
+    validated: bool
+    active: bool
+
+
+@dataclass
+class DealSynopsis:
+    """The full business context of one activity.
+
+    Attributes:
+        deal_id: The activity.
+        name: Display name.
+        overview: Overview-tab fields (customer, industry, consultant,
+            contract term, value band, international flag).
+        towers: Scope service names, most significant first (the
+            Figure 5/6 "Towers" ordering).
+        people: People tab, grouped by contact category.
+        win_strategies: Win Strategies tab.
+        client_references: Client References tab.
+        technology_solutions: Technology Solutions tab entries
+            ("term (tower)" pairs).
+    """
+
+    deal_id: str
+    name: str
+    overview: Dict[str, str] = field(default_factory=dict)
+    towers: List[str] = field(default_factory=list)
+    people: Dict[str, List[ContactView]] = field(default_factory=dict)
+    win_strategies: List[str] = field(default_factory=list)
+    client_references: List[str] = field(default_factory=list)
+    technology_solutions: List[Dict[str, str]] = field(default_factory=list)
+
+    def contacts(self) -> List[ContactView]:
+        """All contacts across categories, category order preserved."""
+        return [
+            contact
+            for category in sorted(self.people)
+            for contact in self.people[category]
+        ]
+
+
+class SynopsisBuilder:
+    """Builds :class:`DealSynopsis` objects from the database."""
+
+    def __init__(self, organized: OrganizedInformation) -> None:
+        self.organized = organized
+
+    def build(self, deal_id: str) -> DealSynopsis:
+        """Assemble the synopsis of one deal; unknown ids raise."""
+        deal_row = self.organized.deal_row(deal_id)
+        if deal_row is None:
+            raise ProgrammingError(f"no synopsis for deal {deal_id!r}")
+        overview = {
+            "Deal name": str(deal_row.get("name") or ""),
+            "Customer name": str(deal_row.get("customer") or ""),
+            "Industry": str(deal_row.get("industry") or ""),
+            "Out Sourcing Consultant": str(deal_row.get("consultant") or ""),
+            "Contract Term Start": str(deal_row.get("contract_start") or ""),
+            "Term Duration (months)": str(deal_row.get("term_months") or ""),
+            "Total Contract Value": str(deal_row.get("value_band") or ""),
+            "Is International?": "Y" if deal_row.get("international") else "N",
+        }
+        towers = [
+            str(row["canonical"]) for row in self.organized.scopes_of(deal_id)
+        ]
+        people: Dict[str, List[ContactView]] = {}
+        for row in self.organized.contacts_of(deal_id):
+            contact = ContactView(
+                name=str(row["name"]),
+                role=str(row.get("role") or ""),
+                category=str(row.get("category") or "other"),
+                email=str(row.get("email") or ""),
+                phone=str(row.get("phone") or ""),
+                organization=str(row.get("organization") or ""),
+                validated=bool(row.get("validated")),
+                active=bool(row.get("active")),
+            )
+            people.setdefault(contact.category, []).append(contact)
+        technology_solutions = [
+            {"term": str(row["term"]), "tower": str(row.get("tower") or "")}
+            for row in self.organized.technologies_of(deal_id)
+        ]
+        return DealSynopsis(
+            deal_id=deal_id,
+            name=overview["Deal name"] or deal_id,
+            overview=overview,
+            towers=towers,
+            people=people,
+            win_strategies=self.organized.strategies_of(deal_id),
+            client_references=self.organized.references_of(deal_id),
+            technology_solutions=technology_solutions,
+        )

@@ -1,0 +1,287 @@
+"""The EIL system facade: offline build + online search.
+
+Wires every component of the paper's Figure 2 architecture together:
+
+* offline — :class:`~repro.core.acquisition.DataAcquisition` crawls the
+  workbooks into the semantic index;
+  :class:`~repro.core.analysis.InformationAnalysis` runs the annotator
+  pipeline and CPEs; the results populate
+  :class:`~repro.core.organized.OrganizedInformation`.
+* online — :class:`~repro.core.search.BusinessActivityDrivenSearch`
+  answers form queries;
+  :class:`~repro.core.context.SynopsisBuilder` serves the per-deal
+  synopsis; plain keyword search over the same index is exposed as the
+  paper's OmniFind baseline.
+
+Typical use::
+
+    from repro import CorpusGenerator, EILSystem, FormQuery, User
+
+    corpus = CorpusGenerator().generate()
+    eil = EILSystem.build(corpus)
+    results = eil.search(FormQuery(tower="End User Services"),
+                         user=User("alice", {"sales"}))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.annotators.classifier import NaiveBayesClassifier
+from repro.core.acquisition import DataAcquisition
+from repro.core.analysis import AnalysisResults, InformationAnalysis
+from repro.core.context import DealSynopsis, SynopsisBuilder
+from repro.core.organized import OrganizedInformation
+from repro.core.query_analyzer import FormQuery
+from repro.core.search import BusinessActivityDrivenSearch, EilResults
+from repro.corpus.generator import Corpus
+from repro.corpus.taxonomy import ServiceTaxonomy
+from repro.docmodel.repository import WorkbookCollection
+from repro.intranet.directory import PersonnelDirectory
+from repro.search.document import SearchHit
+from repro.search.engine import SearchEngine
+from repro.search.siapi import SiapiService
+from repro.security.access import AccessController, User
+
+__all__ = ["EILSystem", "BuildReport"]
+
+_DEFAULT_USER = User("analyst", frozenset({"sales"}))
+
+
+@dataclass
+class BuildReport:
+    """What the offline pipeline produced.
+
+    Attributes:
+        documents_indexed: Documents in the semantic index.
+        documents_analyzed: Documents the annotation pipeline processed.
+        documents_failed: Documents whose analysis raised.
+        deals_populated: Deals with a stored synopsis.
+    """
+
+    documents_indexed: int
+    documents_analyzed: int
+    documents_failed: int
+    deals_populated: int
+
+
+class EILSystem:
+    """One deployed EIL instance over a workbook collection."""
+
+    def __init__(
+        self,
+        taxonomy: ServiceTaxonomy,
+        collection: WorkbookCollection,
+        directory: Optional[PersonnelDirectory] = None,
+        access: Optional[AccessController] = None,
+        scope_min_weight: float = 4.0,
+        strategy_classifier: Optional[NaiveBayesClassifier] = None,
+        field_boosts: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.collection = collection
+        self.directory = directory
+        self.access = access or AccessController()
+        self.engine = SearchEngine(
+            field_boosts=field_boosts or {"title": 2.0}
+        )
+        self.siapi = SiapiService(self.engine)
+        self.organized = OrganizedInformation()
+        self.synopsis_builder = SynopsisBuilder(self.organized)
+        self._analysis = InformationAnalysis(
+            taxonomy,
+            directory,
+            scope_min_weight=scope_min_weight,
+            strategy_classifier=strategy_classifier,
+        )
+        self._repositories: Dict[str, str] = {
+            workbook.deal_id: workbook.name for workbook in collection
+        }
+        self._search: Optional[BusinessActivityDrivenSearch] = None
+        self.build_report: Optional[BuildReport] = None
+        self.analysis_results: Optional[AnalysisResults] = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        access: Optional[AccessController] = None,
+        scope_min_weight: float = 4.0,
+        strategy_classifier: Optional[NaiveBayesClassifier] = None,
+    ) -> "EILSystem":
+        """Build a ready-to-query system from a generated corpus."""
+        system = cls(
+            taxonomy=corpus.taxonomy,
+            collection=corpus.collection,
+            directory=corpus.directory,
+            access=access,
+            scope_min_weight=scope_min_weight,
+            strategy_classifier=strategy_classifier,
+        )
+        system.run_offline_pipeline()
+        return system
+
+    def run_offline_pipeline(self) -> BuildReport:
+        """Crawl, analyze and populate (Figure 2's offline half)."""
+        acquisition = DataAcquisition(self.engine)
+        crawl_report = acquisition.acquire(self.collection)
+
+        results = self._analysis.analyze(self.collection)
+        self.analysis_results = results
+
+        deal_ids = (
+            set(results.context)
+            | set(results.scopes)
+            | set(results.contacts)
+        )
+        for deal_id in sorted(deal_ids):
+            self.organized.store_deal_context(
+                deal_id, results.context.get(deal_id, {})
+            )
+            self.organized.store_scopes(
+                deal_id, results.scopes.get(deal_id, [])
+            )
+            self.organized.store_contacts(
+                deal_id, results.contacts.get(deal_id, [])
+            )
+            self.organized.store_win_strategies(
+                deal_id, results.strategies.get(deal_id, [])
+            )
+            self.organized.store_technologies(
+                deal_id, results.technologies.get(deal_id, [])
+            )
+            self.organized.store_client_references(
+                deal_id, results.references.get(deal_id, [])
+            )
+
+        self._search = BusinessActivityDrivenSearch(
+            organized=self.organized,
+            taxonomy=self.taxonomy,
+            siapi=self.siapi,
+            access=self.access,
+            repositories=self._repositories,
+        )
+        self.build_report = BuildReport(
+            documents_indexed=crawl_report.indexed,
+            documents_analyzed=results.documents_processed,
+            documents_failed=results.documents_failed,
+            deals_populated=len(deal_ids),
+        )
+        return self.build_report
+
+    # -- online API -------------------------------------------------------------
+
+    def search(
+        self,
+        form: FormQuery,
+        user: User = _DEFAULT_USER,
+        limit: Optional[int] = None,
+    ) -> EilResults:
+        """Business-activity driven search (paper Figure 1)."""
+        return self._require_search().execute(form, user, limit)
+
+    def synopsis(self, deal_id: str, user: User = _DEFAULT_USER) -> DealSynopsis:
+        """The deal synopsis view (paper Figure 6)."""
+        self.access.require_synopsis_access(user)
+        return self.synopsis_builder.build(deal_id)
+
+    def keyword_search(
+        self, query: str, limit: Optional[int] = None
+    ) -> List[SearchHit]:
+        """The baseline: plain keyword search over the same index.
+
+        This is the "business-agnostic search-box" EIL is evaluated
+        against in Section 4 — no activity scoping, no synopsis.
+        """
+        return self.engine.search(query, limit)
+
+    def keyword_count(self, query: str) -> int:
+        """Number of documents a keyword query returns (Figure 4)."""
+        return self.engine.count(query)
+
+    def deal_ids(self) -> List[str]:
+        """All deals with a stored synopsis."""
+        return self.organized.deal_ids()
+
+    def _require_search(self) -> BusinessActivityDrivenSearch:
+        if self._search is None:
+            raise RuntimeError(
+                "run_offline_pipeline() must complete before searching"
+            )
+        return self._search
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def add_workbook(self, workbook) -> None:
+        """Onboard one new engagement without a full rebuild.
+
+        The production deployment grows continuously (the paper reports
+        ~1000 engagements at rollout); re-running the whole offline
+        pipeline per new deal would not scale.  This indexes the new
+        workbook's documents, analyzes just that workbook, and populates
+        its synopsis rows.
+        """
+        self._require_search()  # initial build must have happened
+        from repro.docmodel.repository import WorkbookCollection
+
+        self.collection.add(workbook)
+        self._repositories[workbook.deal_id] = workbook.name
+        self._search.repositories[workbook.deal_id] = workbook.name
+
+        crawl = DataAcquisition(self.engine).acquire(
+            WorkbookCollection([workbook])
+        )
+        results = self._analysis.analyze(WorkbookCollection([workbook]))
+        deal_id = workbook.deal_id
+        self.organized.store_deal_context(
+            deal_id, results.context.get(deal_id, {})
+        )
+        self.organized.store_scopes(deal_id,
+                                    results.scopes.get(deal_id, []))
+        self.organized.store_contacts(deal_id,
+                                      results.contacts.get(deal_id, []))
+        self.organized.store_win_strategies(
+            deal_id, results.strategies.get(deal_id, [])
+        )
+        self.organized.store_technologies(
+            deal_id, results.technologies.get(deal_id, [])
+        )
+        self.organized.store_client_references(
+            deal_id, results.references.get(deal_id, [])
+        )
+        if self.build_report is not None:
+            self.build_report.documents_indexed += crawl.indexed
+            self.build_report.documents_analyzed += (
+                results.documents_processed
+            )
+            self.build_report.deals_populated += 1
+
+    def remove_deal(self, deal_id: str) -> int:
+        """Offboard one engagement: drop its index entries and synopsis.
+
+        Returns the number of documents removed from the index.  The
+        workbook object itself stays in ``collection`` (the repository
+        is the system of record; EIL only forgets what it extracted).
+        """
+        removed = 0
+        for doc_id in list(self.engine.index.doc_ids):
+            document = self.engine.index.document(doc_id)
+            if document.metadata.get("deal_id") == deal_id:
+                self.engine.remove(doc_id)
+                removed += 1
+        # Children first, then the deal row (FK RESTRICT order).
+        for table in ("deal_scopes", "contacts", "win_strategies",
+                      "technologies", "client_references"):
+            self.organized.db.execute(
+                f"DELETE FROM {table} WHERE deal_id = ?", [deal_id]
+            )
+        self.organized.db.execute(
+            "DELETE FROM deals WHERE deal_id = ?", [deal_id]
+        )
+        self._repositories.pop(deal_id, None)
+        if self._search is not None:
+            self._search.repositories.pop(deal_id, None)
+        return removed

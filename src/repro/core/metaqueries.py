@@ -1,0 +1,68 @@
+"""The four meta-queries (paper Section 2) as form-query builders.
+
+Each helper turns a meta-query's parameters into the
+:class:`~repro.core.query_analyzer.FormQuery` a sales professional would
+compose in the EIL search editor, and documents the multi-step keyword
+procedure the paper describes as the baseline for the same need.
+"""
+
+from __future__ import annotations
+
+from repro.core.query_analyzer import FormQuery
+
+__all__ = [
+    "scope_query",
+    "worked_with_query",
+    "role_capacity_query",
+    "service_keyword_query",
+]
+
+
+def scope_query(service: str) -> FormQuery:
+    """Meta-query 1: which engagements have ``service`` in scope?
+
+    EIL: one concept search on the tower criterion.  Keyword baseline:
+    search the service name (missing subtype deals), then re-query with
+    every subtype name and read the union of the hits (Figure 4).
+    """
+    return FormQuery(tower=service)
+
+
+def worked_with_query(person: str, organization: str = "") -> FormQuery:
+    """Meta-query 2: who has worked with ``person`` at ``organization``?
+
+    EIL: one people search over the extracted contact lists; the People
+    tab of each returned deal lists every colleague with roles and
+    contact details.  Keyword baseline: iterative queries narrowing from
+    the person's name to a deal name to the role (Figure 7's three-step
+    episode).
+    """
+    return FormQuery(person_name=person, organization=organization)
+
+
+def role_capacity_query(role: str) -> FormQuery:
+    """Meta-query 3: who has worked in the capacity of ``role``?
+
+    EIL: one role search over the contact lists.  Keyword baseline: the
+    role term matches every document whose *form schema* contains the
+    field name — mostly empty fields (the paper's 149-document episode).
+    """
+    return FormQuery(role=role)
+
+
+def service_keyword_query(
+    service: str, keyword: str, in_synopsis: bool = False
+) -> FormQuery:
+    """Meta-query 4: who worked on ``service`` involving ``keyword``?
+
+    EIL: the tower concept scopes the keyword search to relevant
+    activities (Figure 8).  ``in_synopsis=True`` searches only the
+    extracted technology-solution text instead of the whole workbook —
+    the paper's "first preference".  Keyword baseline: multi-step
+    conjunctive queries plus manual deal identification.
+    """
+    return FormQuery(
+        tower=service,
+        exact_phrase=keyword,
+        search_in="synopsis" if in_synopsis else "ewb",
+    )

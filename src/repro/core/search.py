@@ -1,0 +1,200 @@
+"""BUSINESS-ACTIVITY DRIVEN SEARCH — the paper's Figure 1 algorithm.
+
+The search runs in two stages.  The *synopsis query* selects relevant
+business activities from the structured context; when text criteria are
+present, the *SIAPI query* then runs **scoped to those activities**
+(steps 5-8), which is EIL's central precision lever: keyword matches in
+activities the business context already ruled out never surface.  With
+no synopsis hits, the SIAPI query runs unscoped (steps 12-15).  Results
+are ranked by the combined relevance (step 18) and filtered through
+access control at presentation time (step 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.organized import OrganizedInformation
+from repro.core.query_analyzer import FormQuery, SynopsisSearch
+from repro.core.ranking import RankCombiner, RankedActivity
+from repro.corpus.taxonomy import ServiceTaxonomy
+from repro.errors import QuerySyntaxError
+from repro.search.siapi import SiapiService
+from repro.security.access import AccessController, User
+
+__all__ = ["ActivityResult", "EilResults", "BusinessActivityDrivenSearch"]
+
+
+@dataclass
+class ActivityResult:
+    """One activity as presented to the user (post access control).
+
+    Attributes:
+        deal_id: The activity.
+        name: Display name from the synopsis.
+        score: Combined relevance.
+        synopsis_score: Structured-context contribution.
+        siapi_score: Keyword contribution.
+        reasons: Why the synopsis matched.
+        documents: Supporting document hits — empty when the user lacks
+            repository access (synopsis-only view) or no text query ran.
+        documents_withheld: True when hits existed but access control
+            removed them.
+    """
+
+    deal_id: str
+    name: str
+    score: float
+    synopsis_score: float
+    siapi_score: float
+    reasons: List[str] = field(default_factory=list)
+    documents: List = field(default_factory=list)
+    documents_withheld: bool = False
+
+
+@dataclass
+class EilResults:
+    """The outcome of one business-activity driven search.
+
+    Attributes:
+        activities: Ranked activity results.
+        scoped: True when the SIAPI query ran scoped to synopsis hits
+            (Fig. 1 step 8) rather than unscoped (step 14).
+        plan: Trace of the algorithm's branch decisions, for tests and
+            the UI's "how this was found" affordance.
+    """
+
+    activities: List[ActivityResult] = field(default_factory=list)
+    scoped: bool = False
+    plan: List[str] = field(default_factory=list)
+
+    @property
+    def deal_ids(self) -> List[str]:
+        """Ranked activity ids."""
+        return [a.deal_id for a in self.activities]
+
+
+class BusinessActivityDrivenSearch:
+    """Executes Figure 1 end to end.
+
+    Args:
+        organized: The structured business context.
+        taxonomy: Services taxonomy (concept expansion).
+        siapi: Scoped keyword search service.
+        access: Access controller for step 19.
+        repositories: deal_id -> repository name, for document ACLs.
+        combiner: Rank combination policy (step 18).
+    """
+
+    def __init__(
+        self,
+        organized: OrganizedInformation,
+        taxonomy: ServiceTaxonomy,
+        siapi: SiapiService,
+        access: Optional[AccessController] = None,
+        repositories: Optional[Dict[str, str]] = None,
+        combiner: Optional[RankCombiner] = None,
+    ) -> None:
+        self.organized = organized
+        self.taxonomy = taxonomy
+        self.synopsis_search = SynopsisSearch(organized, taxonomy)
+        self.siapi = siapi
+        self.access = access or AccessController()
+        self.repositories = dict(repositories or {})
+        self.combiner = combiner or RankCombiner()
+
+    def execute(
+        self,
+        form: FormQuery,
+        user: User,
+        limit: Optional[int] = None,
+        per_activity_documents: int = 5,
+    ) -> EilResults:
+        """Run one query for ``user``; see the module docstring."""
+        self.access.require_synopsis_access(user)
+        if form.is_empty():
+            raise QuerySyntaxError("the search form is empty")
+        plan: List[str] = []
+
+        # Steps 1-3: decompose the form.
+        synopsis_matches = self.synopsis_search.execute(form)  # step 4
+        siapi_query = form.to_siapi_query()  # step 3
+        plan.append(
+            f"synopsis query matched {len(synopsis_matches)} activities"
+        )
+        if form.tower.strip() and self.taxonomy.canonical(form.tower) is None:
+            suggestions = self.taxonomy.suggest(form.tower)
+            if suggestions:
+                plan.append(
+                    f"unknown concept {form.tower!r}; did you mean: "
+                    + ", ".join(suggestions)
+                )
+
+        scoped = False
+        siapi_groups = None
+        if synopsis_matches:  # step 5
+            if siapi_query is not None:  # step 7
+                # Step 8: scoped SIAPI execution.
+                scope = set(synopsis_matches)
+                siapi_groups = self.siapi.search_grouped(
+                    siapi_query, scope=scope,
+                    per_activity_limit=per_activity_documents,
+                )
+                scoped = True
+                plan.append(
+                    f"SIAPI query scoped to {len(scope)} activities, "
+                    f"{len(siapi_groups)} matched"
+                )
+                # Activities with no keyword hits drop out: both parts
+                # of the conjunctive query must hold (step 9).
+                synopsis_matches = {
+                    deal_id: match
+                    for deal_id, match in synopsis_matches.items()
+                    if any(
+                        g.activity_id == deal_id for g in siapi_groups
+                    )
+                }
+            else:
+                plan.append("no SIAPI query; synopsis results stand")
+        else:
+            if siapi_query is not None:  # step 13
+                # Step 14: unscoped SIAPI execution.
+                siapi_groups = self.siapi.search_grouped(
+                    siapi_query,
+                    per_activity_limit=per_activity_documents,
+                )
+                plan.append(
+                    f"unscoped SIAPI query matched "
+                    f"{len(siapi_groups)} activities"
+                )
+            else:
+                plan.append("no criteria matched; empty result")
+                return EilResults(plan=plan)
+
+        # Step 18: rank.
+        ranked = self.combiner.combine(synopsis_matches, siapi_groups)
+        if limit is not None:
+            ranked = ranked[:limit]
+
+        # Step 19: present under access control.
+        results = [self._present(activity, user) for activity in ranked]
+        return EilResults(activities=results, scoped=scoped, plan=plan)
+
+    def _present(
+        self, activity: RankedActivity, user: User
+    ) -> ActivityResult:
+        deal_row = self.organized.deal_row(activity.deal_id) or {}
+        repository = self.repositories.get(activity.deal_id, "")
+        may_read = self.access.can_read_documents(user, repository)
+        documents = activity.hits if may_read else []
+        return ActivityResult(
+            deal_id=activity.deal_id,
+            name=str(deal_row.get("name") or activity.deal_id),
+            score=activity.score,
+            synopsis_score=activity.synopsis_score,
+            siapi_score=activity.siapi_score,
+            reasons=activity.reasons,
+            documents=documents,
+            documents_withheld=bool(activity.hits) and not may_read,
+        )

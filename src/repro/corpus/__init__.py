@@ -1,0 +1,45 @@
+"""Synthetic enterprise corpus (substitute for the proprietary data)."""
+
+from repro.corpus.deals import DealGenerator, DealSpec, TeamMember, deal_name_for
+from repro.corpus.documents_gen import MIN_DOCS_PER_DEAL, WorkbookFactory
+from repro.corpus.emails_gen import (
+    PAPER_THREAD_COUNTS,
+    EmailThread,
+    ThreadGenerator,
+)
+from repro.corpus.generator import Corpus, CorpusConfig, CorpusGenerator
+from repro.corpus.people import (
+    CLIENT_ORGS,
+    INDUSTRIES,
+    VENDOR_DOMAIN,
+    VENDOR_ORG,
+    Person,
+)
+from repro.corpus.taxonomy import (
+    ServiceNode,
+    ServiceTaxonomy,
+    build_default_taxonomy,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "DealGenerator",
+    "DealSpec",
+    "TeamMember",
+    "deal_name_for",
+    "WorkbookFactory",
+    "MIN_DOCS_PER_DEAL",
+    "EmailThread",
+    "ThreadGenerator",
+    "PAPER_THREAD_COUNTS",
+    "Person",
+    "VENDOR_ORG",
+    "VENDOR_DOMAIN",
+    "CLIENT_ORGS",
+    "INDUSTRIES",
+    "ServiceNode",
+    "ServiceTaxonomy",
+    "build_default_taxonomy",
+]

@@ -1,0 +1,264 @@
+"""Deal (engagement) ground-truth generation.
+
+A :class:`DealSpec` is the *truth* about one engagement: its real scope
+(ordered by significance), team, technologies, financial context, and —
+critically for evaluation — which services are merely *mentioned
+incidentally* in its documents without being in scope.  The document
+generator plants exactly these facts (plus noise) into the workbook, so
+precision/recall of any search strategy can be computed against the
+spec (this replaces the paper's human domain expert).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.people import (
+    CLIENT_ORGS,
+    CLIENT_ROLES,
+    CONSULTANT_ORGS,
+    FIRST_NAMES,
+    GEOGRAPHIES,
+    INDUSTRIES,
+    LAST_NAMES,
+    VALUE_BANDS,
+    VENDOR_DOMAIN,
+    VENDOR_ORG,
+    VENDOR_ROLES,
+    Person,
+)
+from repro.corpus.taxonomy import ServiceTaxonomy, build_default_taxonomy
+from repro.errors import CorpusError
+
+__all__ = ["TeamMember", "DealSpec", "DealGenerator", "deal_name_for"]
+
+
+@dataclass(frozen=True)
+class TeamMember:
+    """One person's involvement in a deal.
+
+    Attributes:
+        person: The person.
+        role: Canonical role name.
+        category: People-tab category (core deal team, delivery, ...).
+    """
+
+    person: Person
+    role: str
+    category: str
+
+
+@dataclass(frozen=True)
+class DealSpec:
+    """Ground truth for one engagement."""
+
+    deal_id: str
+    name: str
+    customer: str
+    industry: str
+    consultant: str
+    geography: str
+    contract_start: str  # ISO date
+    term_months: int
+    value_band: str
+    is_international: bool
+    towers: Tuple[str, ...]  # canonical names, most significant first
+    technologies: Tuple[Tuple[str, str], ...]  # (tower, technology)
+    team: Tuple[TeamMember, ...]
+    incidental_services: Tuple[str, ...]  # mentioned but NOT in scope
+    win_strategies: Tuple[str, ...]
+    client_references: Tuple[str, ...]
+
+    def has_service(self, taxonomy: ServiceTaxonomy, service: str) -> bool:
+        """True if ``service`` (or any descendant) is in scope."""
+        expanded = {n.name for n in taxonomy.expand(service)}
+        return any(t in expanded for t in self.towers)
+
+    def members_with_role(self, role: str) -> List[TeamMember]:
+        """Team members holding ``role`` (case-insensitive)."""
+        lowered = role.lower()
+        return [m for m in self.team if m.role.lower() == lowered]
+
+    def technologies_for(self, tower: str) -> List[str]:
+        """Technology terms planted under ``tower``."""
+        return [tech for t, tech in self.technologies if t == tower]
+
+
+_WIN_STRATEGY_THEMES = (
+    "price-to-win with aggressive year-one credits",
+    "co-location of the transition team at the client site",
+    "early executive alignment with the client CIO",
+    "bundling transformation projects into the base contract",
+    "re-badging the incumbent staff to protect continuity",
+    "offshore delivery mix to hit the target cost case",
+    "jointly funded innovation lab as a sweetener",
+    "benchmark-based pricing clauses to counter the consultant",
+)
+
+_REFERENCE_TEMPLATES = (
+    "Reference: similar {industry} engagement completed in {year}",
+    "Client visit hosted with a comparable {industry} account",
+    "Analyst citation covering our {industry} delivery record",
+)
+
+
+def deal_name_for(index: int) -> str:
+    """``DEAL A`` ... ``DEAL Z``, then ``DEAL AA`` and so on."""
+    letters = ""
+    remaining = index
+    while True:
+        letters = chr(ord("A") + remaining % 26) + letters
+        remaining = remaining // 26 - 1
+        if remaining < 0:
+            break
+    return f"DEAL {letters}"
+
+
+class DealGenerator:
+    """Seeded generator of :class:`DealSpec` ground truth.
+
+    People are drawn from a shared staff pool so the same individual
+    works several deals — Meta-query 2 ("who has worked with <person>")
+    needs cross-deal co-occurrence to be meaningful.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2008,
+        taxonomy: Optional[ServiceTaxonomy] = None,
+        staff_pool_size: int = 150,
+    ) -> None:
+        if staff_pool_size < 20:
+            raise CorpusError("staff_pool_size must be at least 20")
+        self._rng = random.Random(seed)
+        self.taxonomy = taxonomy or build_default_taxonomy()
+        self._used_emails: Dict[str, int] = {}
+        self._phone_counter = 100
+        self._staff: List[Person] = [
+            self._make_person(VENDOR_ORG, VENDOR_DOMAIN)
+            for _ in range(staff_pool_size)
+        ]
+
+    # -- people ------------------------------------------------------------
+
+    def _make_person(self, organization: str, domain: str) -> Person:
+        first = self._rng.choice(FIRST_NAMES)
+        last = self._rng.choice(LAST_NAMES)
+        local = f"{first.lower()}.{last.lower()}"
+        suffix = self._used_emails.get(local, 0)
+        self._used_emails[local] = suffix + 1
+        if suffix:
+            local = f"{local}{suffix + 1}"
+        self._phone_counter += 1
+        phone = f"+1-914-555-{self._phone_counter:04d}"
+        return Person(first, last, organization, f"{local}@{domain}", phone)
+
+    def _client_person(self, customer: str) -> Person:
+        domain = customer.split()[0].lower().replace("/", "") + ".com"
+        return self._make_person(customer, domain)
+
+    # -- deals ---------------------------------------------------------------
+
+    def generate(self, count: int) -> List[DealSpec]:
+        """Generate ``count`` deal specs deterministically."""
+        return [self._generate_one(i) for i in range(count)]
+
+    def _generate_one(self, index: int) -> DealSpec:
+        rng = self._rng
+        customer = CLIENT_ORGS[index % len(CLIENT_ORGS)]
+        industry = rng.choice(INDUSTRIES)
+        consultant = (
+            rng.choice(CONSULTANT_ORGS) if rng.random() < 0.6 else ""
+        )
+        year = rng.choice((2004, 2005, 2006))
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+
+        # Scope: 4-10 services; bias toward including tower families the
+        # meta-queries exercise so every corpus size supports them.
+        candidates = [n.name for n in self.taxonomy.all_nodes
+                      if n.name != "End User Services"]
+        rng.shuffle(candidates)
+        scope_size = rng.randint(4, 10)
+        towers = candidates[:scope_size]
+        # Scope parents implied by subtowers join the scope's tail (a
+        # deal with CSC in scope *is* an End User Services deal).
+        implied = []
+        for tower in towers:
+            parent = self.taxonomy.get(tower).parent
+            if parent and parent not in towers and parent not in implied:
+                implied.append(parent)
+        towers = tuple(towers + implied)
+
+        # Technologies: 1-2 per scoped service that has any.
+        technologies: List[Tuple[str, str]] = []
+        for tower in towers:
+            available = list(self.taxonomy.get(tower).technologies)
+            rng.shuffle(available)
+            for tech in available[: rng.randint(1, 2)]:
+                technologies.append((tower, tech))
+
+        # Incidental services: talked about, not in scope.
+        out_of_scope = [c for c in candidates[scope_size:]
+                        if c not in towers]
+        incidental = tuple(out_of_scope[: rng.randint(2, 5)])
+
+        # Team: a sample of vendor roles from the shared staff pool,
+        # plus client-side contacts and possibly the consultant.
+        team: List[TeamMember] = []
+        used_people: set = set()
+        vendor_roles = list(VENDOR_ROLES)
+        rng.shuffle(vendor_roles)
+        for role, category in vendor_roles[: rng.randint(7, len(vendor_roles))]:
+            person = rng.choice(self._staff)
+            while person.email in used_people:
+                person = rng.choice(self._staff)
+            used_people.add(person.email)
+            team.append(TeamMember(person, role, category))
+        for role, category in rng.sample(CLIENT_ROLES,
+                                         rng.randint(2, len(CLIENT_ROLES))):
+            team.append(TeamMember(self._client_person(customer), role,
+                                   category))
+        if consultant:
+            consultant_person = self._make_person(
+                consultant, consultant.split()[0].lower() + ".com"
+            )
+            team.append(
+                TeamMember(consultant_person, "Third Party Consultant",
+                           "third party consultant")
+            )
+
+        strategies = tuple(
+            rng.sample(_WIN_STRATEGY_THEMES, rng.randint(2, 4))
+        )
+        references = tuple(
+            template.format(industry=industry, year=year - 1)
+            for template in rng.sample(_REFERENCE_TEMPLATES,
+                                       rng.randint(1, 2))
+        )
+
+        return DealSpec(
+            deal_id=f"deal-{index:04d}",
+            name=deal_name_for(index),
+            customer=customer,
+            industry=industry,
+            consultant=consultant,
+            geography=rng.choice(GEOGRAPHIES),
+            contract_start=f"{year}-{month:02d}-{day:02d}",
+            term_months=rng.choice((36, 48, 60, 84)),
+            value_band=rng.choice(VALUE_BANDS),
+            is_international=rng.random() < 0.4,
+            towers=towers,
+            technologies=tuple(technologies),
+            team=tuple(team),
+            incidental_services=incidental,
+            win_strategies=strategies,
+            client_references=references,
+        )
+
+    @property
+    def staff(self) -> List[Person]:
+        """The shared vendor staff pool."""
+        return list(self._staff)

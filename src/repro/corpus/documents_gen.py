@@ -1,0 +1,483 @@
+"""Per-deal workbook generation: planting facts and noise.
+
+The factory turns one :class:`~repro.corpus.deals.DealSpec` into an
+engagement workbook whose documents exhibit the phenomena the paper's
+evaluation hinges on:
+
+* **Scope decks** state the true scope, with inconsistent surface forms
+  (canonical names, acronyms, aliases) and significance expressed as
+  mention frequency — the CPE later counts mentions to order towers
+  (Figure 5's ordering).
+* **Team rosters** are messy spreadsheets: reversed names, missing
+  emails/phones, duplicate rows with conflicting values — the inputs the
+  social networking annotator (Figure 3) must survive.
+* **Service-detail forms** carry schema fields like ``Cross Tower TSA``
+  that are usually *empty*, so keyword search hits the field name with
+  no value behind it (Meta-query 3's 149 mostly-useless documents).
+* **Boilerplate appendices** and **meeting minutes** mention services
+  that are NOT in scope (Figure 4's precision collapse), and emails
+  scatter people and service names through free text.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.corpus.deals import DealSpec
+from repro.corpus.taxonomy import ServiceNode, ServiceTaxonomy
+from repro.docmodel.documents import (
+    EmailMessage,
+    EnterpriseDocument,
+    FormDocument,
+    Presentation,
+    Sheet,
+    Slide,
+    Spreadsheet,
+    TextDocument,
+)
+from repro.docmodel.repository import EngagementWorkbook
+from repro.errors import CorpusError
+
+__all__ = ["WorkbookFactory", "MIN_DOCS_PER_DEAL"]
+
+MIN_DOCS_PER_DEAL = 12
+
+_STATUS_SENTENCES = (
+    "Weekly status call held with the client stakeholders.",
+    "Pricing model iteration four was circulated for review.",
+    "Transition planning workshop scheduled for next month.",
+    "Contract redlines returned from legal with minor comments.",
+    "Due diligence data room access was granted to the team.",
+    "Benchmarking data requested by the sourcing consultant.",
+    "Solution assurance review passed with two open actions.",
+    "Executive sponsor briefing deck updated for the steering committee.",
+)
+
+_GENERIC_SENTENCES = (
+    "Travel arrangements for the onsite workshop were confirmed.",
+    "Meeting minutes were distributed to all attendees.",
+    "The action-item tracker was updated after the call.",
+    "Room bookings for the proposal war room were extended.",
+    "Printing and binding of the executive summary was arranged.",
+)
+
+_INCIDENTAL_TEMPLATES = (
+    "The client asked in passing whether {service} could be added in a "
+    "later phase; no commitment was made.",
+    "For context, the incumbent provider also runs {service} for an "
+    "affiliate, which is out of scope here.",
+    "A question about {service} was parked in the issues log; it is not "
+    "part of this engagement.",
+    "The {service} organization at the client was mentioned during "
+    "introductions.",
+)
+
+_BOILERPLATE_LEAD = (
+    "Standard appendix: service catalog reference. The following service "
+    "lines are listed for completeness only: "
+)
+
+_EMAIL_BODIES = (
+    "Can you review the attached draft before the client call?",
+    "The numbers in the cost case moved; see the delta tab.",
+    "We need the reference slide updated before Thursday.",
+    "Following up on the open action from the workshop.",
+)
+
+
+class WorkbookFactory:
+    """Builds one workbook per deal, deterministically from a seed."""
+
+    def __init__(self, taxonomy: ServiceTaxonomy, seed: int = 2008) -> None:
+        self.taxonomy = taxonomy
+        self._rng = random.Random(seed)
+
+    # -- public --------------------------------------------------------------
+
+    def build_workbook(
+        self, deal: DealSpec, docs_target: int = 40
+    ) -> EngagementWorkbook:
+        """Generate ``docs_target`` documents for ``deal``.
+
+        The core documents (scope deck, roster, forms, win strategy,
+        technology solutions, overview, references) always exist;
+        filler documents pad up to the target.
+        """
+        if docs_target < MIN_DOCS_PER_DEAL:
+            raise CorpusError(
+                f"docs_target must be >= {MIN_DOCS_PER_DEAL}"
+            )
+        documents: List[EnterpriseDocument] = []
+        documents.append(self._scope_deck(deal))
+        documents.append(self._team_roster(deal))
+        documents.extend(self._service_forms(deal))
+        documents.append(self._win_strategy_doc(deal))
+        documents.extend(self._technology_docs(deal))
+        documents.append(self._overview_doc(deal))
+        documents.append(self._references_doc(deal))
+        filler_needed = docs_target - len(documents)
+        documents.extend(self._filler_docs(deal, max(filler_needed, 0)))
+        workbook = EngagementWorkbook(
+            deal.deal_id, name=f"EWB {deal.name}", documents=documents
+        )
+        return workbook
+
+    # -- helpers ------------------------------------------------------------
+
+    def _doc_id(self, deal: DealSpec, kind: str, index: int = 0) -> str:
+        return f"{deal.deal_id}/{kind}-{index:03d}"
+
+    def _surface(self, node: ServiceNode) -> str:
+        """A surface form for a service, mostly canonical, often not."""
+        forms = node.surface_forms
+        roll = self._rng.random()
+        if roll < 0.6 or len(forms) == 1:
+            return forms[0]
+        return self._rng.choice(forms[1:])
+
+    def _team_author(self, deal: DealSpec) -> str:
+        return self._rng.choice(deal.team).person.full_name
+
+    # -- core documents ----------------------------------------------------------
+
+    def _scope_deck(self, deal: DealSpec) -> Presentation:
+        """The deck stating the true scope, significance-weighted."""
+        rng = self._rng
+        slides = [
+            Slide(
+                title=f"{deal.name} Engagement Scope",
+                subtitle=f"Prepared for {deal.customer}",
+                bullets=(f"Industry: {deal.industry}",
+                         f"Total contract value: {deal.value_band}"),
+            )
+        ]
+        node_count = len(deal.towers)
+        for rank, tower in enumerate(deal.towers):
+            node = self.taxonomy.get(tower)
+            # More significant towers get repeated mentions; the CPE's
+            # occurrence counting turns this back into the Figure 5
+            # ordering.
+            mentions = max(1, (node_count - rank + 1) // 2) + 1
+            if rank >= (2 * node_count) // 3 and rng.random() < 0.3:
+                # Real decks sometimes describe tail-of-scope services
+                # only in passing, on a vaguely-titled slide — the
+                # phrasing that makes EIL's significance analysis miss a
+                # true scope item (Table 2's sub-1.0 EIL recall rows).
+                slides.append(
+                    Slide(
+                        title="Additional Considerations",
+                        bullets=(
+                            f"Also covering {self._surface(node)} "
+                            "operations for the client",
+                        ),
+                    )
+                )
+                continue
+            bullets = []
+            for _ in range(mentions):
+                bullets.append(
+                    f"{self._surface(node)} is included in the "
+                    "services scope"
+                )
+            for tech in deal.technologies_for(tower)[:1]:
+                bullets.append(f"Solution approach includes {tech}")
+            slides.append(
+                Slide(title=f"Scope: {node.name}", bullets=tuple(bullets))
+            )
+        if deal.incidental_services and rng.random() < 0.5:
+            # "Phase 2 options" pollute the scope context with services
+            # that are NOT in scope — EIL's bounded precision loss.
+            options = deal.incidental_services[: rng.randint(1, 2)]
+            option_bullets = []
+            for option in options:
+                surface = self._surface(self.taxonomy.get(option))
+                option_bullets.append(
+                    f"{surface} is under evaluation for inclusion in "
+                    "the services scope in a later phase"
+                )
+                option_bullets.append(
+                    f"Client to decide on {surface} scope by contract "
+                    "signature"
+                )
+            slides.append(
+                Slide(title="Phase 2 Options", bullets=tuple(option_bullets))
+            )
+        return Presentation(
+            doc_id=self._doc_id(deal, "scope"),
+            title=f"{deal.name} Scope Overview",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            author=self._team_author(deal),
+            slides=tuple(slides),
+        )
+
+    def _team_roster(self, deal: DealSpec) -> Spreadsheet:
+        """The messy roster the social annotator must clean up."""
+        rng = self._rng
+        rows: List[Tuple[str, ...]] = []
+        for member in deal.team:
+            person = member.person
+            name = (
+                person.reversed_name if rng.random() < 0.3
+                else person.full_name
+            )
+            role = member.role
+            if rng.random() < 0.35:
+                role = _role_variant(role)
+            email = person.email if rng.random() < 0.8 else ""
+            phone = person.phone if rng.random() < 0.6 else ""
+            org = person.organization if rng.random() < 0.85 else ""
+            rows.append((name, role, email, phone, org))
+            if rng.random() < 0.15:
+                # Duplicate entry with conflicting phone and casing —
+                # Fig. 3 step 10's de-duplication target.
+                rows.append(
+                    (person.full_name.upper(), role, person.email,
+                     f"+1-914-555-{rng.randint(9000, 9999)}", org)
+                )
+        return Spreadsheet(
+            doc_id=self._doc_id(deal, "roster"),
+            title=f"{deal.name} Deal Team Roster",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            author=self._team_author(deal),
+            sheets=(
+                Sheet(
+                    "Deal Team",
+                    ("Name", "Role", "Email", "Phone", "Organization"),
+                    tuple(rows),
+                ),
+            ),
+        )
+
+    def _service_forms(self, deal: DealSpec) -> List[FormDocument]:
+        """Service-detail forms with mostly-empty schema fields."""
+        rng = self._rng
+        forms = []
+        cross_tower_members = deal.members_with_role(
+            "Cross Tower Technical Solution Architect"
+        )
+        tsa_members = deal.members_with_role("Technical Solution Architect")
+        for index, tower in enumerate(deal.towers[:6]):
+            # The schema always names the fields; values are mostly blank.
+            cross_value = ""
+            if cross_tower_members and rng.random() < 0.25:
+                cross_value = cross_tower_members[0].person.full_name
+            tsa_value = ""
+            if tsa_members and rng.random() < 0.35:
+                tsa_value = tsa_members[0].person.full_name
+            forms.append(
+                FormDocument(
+                    doc_id=self._doc_id(deal, "form", index),
+                    title=f"Service Details: {tower}",
+                    deal_id=deal.deal_id,
+                    repository=f"EWB {deal.name}",
+                    form_name="Service Delivery Record",
+                    fields=(
+                        ("Tower", tower),
+                        ("Cross Tower TSA", cross_value),
+                        ("Mainframe TSA", ""),
+                        ("Lead TSA", tsa_value),
+                        ("Delivery Location", rng.choice(
+                            ("Onshore", "Offshore", "Blended", ""))),
+                        ("Service Details",
+                         f"Delivery record for {tower} under {deal.name}."),
+                    ),
+                )
+            )
+        return forms
+
+    def _win_strategy_doc(self, deal: DealSpec) -> TextDocument:
+        sections = [("Win Strategy",
+                     " ".join(f"Strategy: {s}." for s in deal.win_strategies))]
+        return TextDocument(
+            doc_id=self._doc_id(deal, "winstrat"),
+            title=f"{deal.name} Win Strategies",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            author=self._team_author(deal),
+            sections=tuple(sections),
+        )
+
+    def _technology_docs(self, deal: DealSpec) -> List[TextDocument]:
+        """One consolidated technology-solution document per deal.
+
+        Every scoped tower with planted technologies gets a section, so
+        each (tower, technology) ground-truth pair is guaranteed to
+        appear in exactly this document (plus possibly the scope deck).
+        """
+        sections = []
+        for tower in deal.towers:
+            node = self.taxonomy.get(tower)
+            techs = deal.technologies_for(tower)
+            if not techs:
+                continue
+            body = (
+                f"Technical solution overview for {self._surface(node)}. "
+                + " ".join(
+                    f"The design relies on {tech} to meet the service "
+                    "levels." for tech in techs
+                )
+            )
+            sections.append((f"Technology Solutions: {tower}", body))
+        if not sections:
+            return []
+        return [
+            TextDocument(
+                doc_id=self._doc_id(deal, "tech"),
+                title=f"{deal.name} Technology Solution Overview",
+                deal_id=deal.deal_id,
+                repository=f"EWB {deal.name}",
+                author=self._team_author(deal),
+                sections=tuple(sections),
+            )
+        ]
+
+    def _overview_doc(self, deal: DealSpec) -> FormDocument:
+        return FormDocument(
+            doc_id=self._doc_id(deal, "overview"),
+            title=f"{deal.name} Opportunity Overview",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            form_name="Opportunity Profile",
+            fields=(
+                ("Deal Name", deal.name),
+                ("Customer", deal.customer),
+                ("Industry", deal.industry),
+                ("Out Sourcing Consultant", deal.consultant),
+                ("Geography", deal.geography),
+                ("Contract Term Start", deal.contract_start),
+                ("Term Duration Months", str(deal.term_months)),
+                ("Total Contract Value", deal.value_band),
+                ("International",
+                 "Y" if deal.is_international else "N"),
+            ),
+        )
+
+    def _references_doc(self, deal: DealSpec) -> TextDocument:
+        return TextDocument(
+            doc_id=self._doc_id(deal, "refs"),
+            title=f"{deal.name} Client References",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            sections=(("Client References",
+                       " ".join(f"{r}." for r in deal.client_references)),),
+        )
+
+    # -- filler ------------------------------------------------------------------
+
+    def _filler_docs(
+        self, deal: DealSpec, count: int
+    ) -> List[EnterpriseDocument]:
+        rng = self._rng
+        docs: List[EnterpriseDocument] = []
+        for index in range(count):
+            roll = rng.random()
+            if roll < 0.28 and deal.incidental_services:
+                docs.append(self._incidental_minutes(deal, index))
+            elif roll < 0.42:
+                docs.append(self._boilerplate_appendix(deal, index))
+            elif roll < 0.65:
+                docs.append(self._team_email(deal, index))
+            else:
+                docs.append(self._generic_status(deal, index))
+        return docs
+
+    def _incidental_minutes(self, deal: DealSpec, index: int) -> TextDocument:
+        rng = self._rng
+        service = rng.choice(deal.incidental_services)
+        node = self.taxonomy.get(service)
+        sentences = [
+            rng.choice(_STATUS_SENTENCES),
+            rng.choice(_INCIDENTAL_TEMPLATES).format(
+                service=self._surface(node)
+            ),
+            rng.choice(_GENERIC_SENTENCES),
+        ]
+        return TextDocument(
+            doc_id=self._doc_id(deal, "minutes", index),
+            title=f"{deal.name} Meeting Minutes {index}",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            author=self._team_author(deal),
+            sections=(("Minutes", " ".join(sentences)),),
+        )
+
+    def _boilerplate_appendix(self, deal: DealSpec, index: int) -> TextDocument:
+        rng = self._rng
+        # Catalog boilerplate names several services regardless of scope.
+        mentioned = rng.sample(
+            [n.name for n in self.taxonomy.all_nodes],
+            k=rng.randint(3, 6),
+        )
+        body = _BOILERPLATE_LEAD + "; ".join(
+            self._surface(self.taxonomy.get(name)) for name in mentioned
+        ) + "."
+        return TextDocument(
+            doc_id=self._doc_id(deal, "appendix", index),
+            title=f"{deal.name} Appendix {index}",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            sections=(("Appendix", body),),
+        )
+
+    def _team_email(self, deal: DealSpec, index: int) -> EmailMessage:
+        rng = self._rng
+        sender = rng.choice(deal.team).person
+        recipients = tuple(
+            m.person.email
+            for m in rng.sample(deal.team, min(2, len(deal.team)))
+        )
+        body = rng.choice(_EMAIL_BODIES)
+        if rng.random() < 0.3 and deal.towers:
+            tower = rng.choice(deal.towers)
+            body += (
+                f" This touches the {self._surface(self.taxonomy.get(tower))}"
+                " workstream."
+            )
+        return EmailMessage(
+            doc_id=self._doc_id(deal, "mail", index),
+            title=f"{deal.name} email {index}",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            sender=sender.email,
+            recipients=recipients,
+            subject=f"RE: {deal.name} workstream update",
+            body=body,
+        )
+
+    def _generic_status(self, deal: DealSpec, index: int) -> TextDocument:
+        rng = self._rng
+        sentences = rng.sample(_STATUS_SENTENCES, 2) + rng.sample(
+            _GENERIC_SENTENCES, 2
+        )
+        return TextDocument(
+            doc_id=self._doc_id(deal, "status", index),
+            title=f"{deal.name} Status Report {index}",
+            deal_id=deal.deal_id,
+            repository=f"EWB {deal.name}",
+            author=self._team_author(deal),
+            sections=(("Status", " ".join(sentences)),),
+        )
+
+
+_ROLE_VARIANTS = {
+    "Client Solution Executive": ("CSE", "Client Solution Exec."),
+    "Technical Solution Architect": ("TSA",),
+    "Cross Tower Technical Solution Architect": (
+        "Cross Tower TSA", "cross tower TSA",
+    ),
+    "Delivery Project Executive": ("DPE",),
+    "Engagement Manager": ("EM",),
+    "Client Executive": ("CE",),
+}
+
+
+def _role_variant(role: str) -> str:
+    variants = _ROLE_VARIANTS.get(role)
+    if not variants:
+        return role
+    # Deterministic pick: first variant keeps generation reproducible
+    # without threading the RNG through.
+    return variants[0]

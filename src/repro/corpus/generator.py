@@ -1,0 +1,150 @@
+"""Top-level corpus generation: deals + workbooks + emails + directory.
+
+One :class:`CorpusGenerator` call produces a complete, self-consistent
+synthetic world — the substitute for the paper's proprietary IBM data:
+
+* ground-truth :class:`DealSpec` objects (scope, team, technologies),
+* one engagement workbook per deal with the paper's noise phenomena,
+* the sales distribution list (120 threads by default), and
+* the intranet personnel directory covering every person that appears.
+
+Everything derives from a single seed; the paper-scale configuration
+(23 deals / ~15,000 documents, Section 4) is available via
+:meth:`CorpusConfig.paper_scale`, while tests default to a small fast
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.corpus.deals import DealGenerator, DealSpec
+from repro.corpus.documents_gen import MIN_DOCS_PER_DEAL, WorkbookFactory
+from repro.corpus.emails_gen import EmailThread, ThreadGenerator
+from repro.corpus.taxonomy import ServiceTaxonomy, build_default_taxonomy
+from repro.docmodel.repository import WorkbookCollection
+from repro.errors import CorpusError
+from repro.intranet.directory import PersonnelDirectory
+
+__all__ = ["CorpusConfig", "Corpus", "CorpusGenerator"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Generation parameters.
+
+    Attributes:
+        seed: Master seed; all randomness derives from it.
+        n_deals: Number of engagements.
+        docs_per_deal: Workbook size per deal (min 12).
+        n_threads: Distribution-list threads.
+        staff_pool_size: Shared vendor staff pool (drives cross-deal
+            people overlap).
+    """
+
+    seed: int = 2008
+    n_deals: int = 6
+    docs_per_deal: int = 24
+    n_threads: int = 120
+    staff_pool_size: int = 150
+
+    def __post_init__(self) -> None:
+        if self.n_deals < 1:
+            raise CorpusError("n_deals must be >= 1")
+        if self.docs_per_deal < MIN_DOCS_PER_DEAL:
+            raise CorpusError(
+                f"docs_per_deal must be >= {MIN_DOCS_PER_DEAL}"
+            )
+
+    @staticmethod
+    def paper_scale(seed: int = 2008) -> "CorpusConfig":
+        """The paper's evaluation corpus: 23 deals, ~15,000 documents."""
+        return CorpusConfig(seed=seed, n_deals=23, docs_per_deal=652)
+
+    @staticmethod
+    def table2_scale(seed: int = 2008) -> "CorpusConfig":
+        """The Table 2 experiment subset: 12 deals, moderate workbooks."""
+        return CorpusConfig(seed=seed, n_deals=12, docs_per_deal=80)
+
+
+@dataclass
+class Corpus:
+    """A generated synthetic world.
+
+    Attributes:
+        config: Parameters it was generated with.
+        taxonomy: Shared services taxonomy.
+        deals: Ground-truth deal specs (index = generation order).
+        collection: All engagement workbooks.
+        threads: The distribution-list threads with labels.
+        directory: The intranet personnel directory.
+    """
+
+    config: CorpusConfig
+    taxonomy: ServiceTaxonomy
+    deals: List[DealSpec]
+    collection: WorkbookCollection
+    threads: List[EmailThread]
+    directory: PersonnelDirectory
+
+    def deal_by_id(self, deal_id: str) -> DealSpec:
+        """Ground truth for one deal."""
+        for deal in self.deals:
+            if deal.deal_id == deal_id:
+                return deal
+        raise CorpusError(f"no deal {deal_id!r}")
+
+    def deals_with_service(self, service: str) -> List[DealSpec]:
+        """Truth set for Meta-query 1: deals whose scope covers service."""
+        return [
+            deal for deal in self.deals
+            if deal.has_service(self.taxonomy, service)
+        ]
+
+    @property
+    def document_count(self) -> int:
+        """Total workbook documents."""
+        return self.collection.document_count()
+
+
+class CorpusGenerator:
+    """Deterministic factory for :class:`Corpus` instances."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None) -> None:
+        self.config = config or CorpusConfig()
+
+    def generate(self) -> Corpus:
+        """Build the complete synthetic world."""
+        config = self.config
+        taxonomy = build_default_taxonomy()
+        deal_generator = DealGenerator(
+            seed=config.seed,
+            taxonomy=taxonomy,
+            staff_pool_size=config.staff_pool_size,
+        )
+        deals = deal_generator.generate(config.n_deals)
+
+        factory = WorkbookFactory(taxonomy, seed=config.seed + 1)
+        collection = WorkbookCollection(
+            factory.build_workbook(deal, config.docs_per_deal)
+            for deal in deals
+        )
+
+        threads = ThreadGenerator(
+            taxonomy, deals, seed=config.seed + 2
+        ).generate(config.n_threads)
+
+        directory = PersonnelDirectory()
+        directory.load_people(deal_generator.staff)
+        for deal in deals:
+            directory.load_people(m.person for m in deal.team)
+
+        return Corpus(
+            config=config,
+            taxonomy=taxonomy,
+            deals=deals,
+            collection=collection,
+            threads=threads,
+            directory=directory,
+        )

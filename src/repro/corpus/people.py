@@ -1,0 +1,140 @@
+"""Name, organization and role pools for the synthetic corpus.
+
+All pools are fixed lists so that generation is fully deterministic
+given a seed.  The vendor organization (the paper's IBM) is the neutral
+"Vantage Global Services"; client organizations, sourcing consultants
+and geographies echo the paper's synopsis fields (Figure 6: industry,
+outsourcing consultant "TPI", contract value bands, international flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Person",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CLIENT_ORGS",
+    "CONSULTANT_ORGS",
+    "VENDOR_ORG",
+    "VENDOR_DOMAIN",
+    "INDUSTRIES",
+    "GEOGRAPHIES",
+    "VALUE_BANDS",
+    "VENDOR_ROLES",
+    "CLIENT_ROLES",
+    "ROLE_CATEGORIES",
+]
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Sam", "Jane", "Carlos", "Priya", "Wei", "Elena", "Marcus", "Aisha",
+    "Viktor", "Naomi", "Oliver", "Grace", "Hector", "Ingrid", "Tariq",
+    "Beatriz", "Dmitri", "Yuki", "Leon", "Fatima", "Andre", "Sofia",
+    "Rajesh", "Hannah", "Pedro", "Linnea", "Omar", "Clara", "Feng",
+    "Amara", "Gustav", "Noor", "Mateo", "Ivy", "Kenji", "Paula",
+    "Stefan", "Leila", "Bruno", "Mei",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "White", "Doe", "Ramirez", "Patel", "Chen", "Petrova", "Hall",
+    "Okafor", "Ivanov", "Tanaka", "Brown", "Kim", "Silva", "Larsson",
+    "Hassan", "Costa", "Volkov", "Sato", "Fischer", "Rahman", "Dubois",
+    "Rossi", "Iyer", "Schmidt", "Alves", "Nilsson", "Farouk", "Weber",
+    "Liang", "Diallo", "Berg", "Karim", "Vargas", "Quinn", "Mori",
+    "Santos", "Keller", "Nasser", "Moreau", "Zhang",
+)
+
+CLIENT_ORGS: Tuple[str, ...] = (
+    "ABC", "Initech", "Globex", "Stellar Insurance", "Northbank",
+    "Meridian Health", "Quantum Retail", "Apex Manufacturing",
+    "TransContinental Air", "Heliotrope Energy", "Crestline Bank",
+    "Pinnacle Life", "Orchard Foods", "Vector Telecom", "Summit Mutual",
+    "Ironwood Logistics", "BlueRiver Utilities", "Falcon Media",
+    "Greenfield Pharma", "Atlas Freight", "Cobalt Chemicals",
+    "Silverlake Securities", "Harborview Hotels",
+)
+
+CONSULTANT_ORGS: Tuple[str, ...] = ("TPI", "Everest Group", "Gartner Advisory")
+
+VENDOR_ORG = "Vantage Global Services"
+VENDOR_DOMAIN = "vantagegs.com"
+
+INDUSTRIES: Tuple[str, ...] = (
+    "Banking", "Insurance", "Financial Services", "Financial Markets",
+    "Industrial", "Communications", "Distribution", "Retail Products",
+    "Healthcare", "Public Sector", "Travel and Transportation",
+)
+
+GEOGRAPHIES: Tuple[str, ...] = (
+    "Americas (AM), United States", "Americas (AM), Canada",
+    "EMEA, United Kingdom", "EMEA, Germany", "AP, Japan", "AP, Australia",
+    "Americas (AM), Brazil", "EMEA, Nordics",
+)
+
+VALUE_BANDS: Tuple[str, ...] = (
+    "under 25M", "25 to 50M", "50 to 100M", "over 100M",
+)
+
+# (role, People-tab category) for the vendor side; categories follow the
+# paper's People tab: core deal team, technical support team, delivery
+# team, client team, third party consultant.
+VENDOR_ROLES: Tuple[Tuple[str, str], ...] = (
+    ("Client Solution Executive", "core deal team"),
+    ("Sales Leader", "core deal team"),
+    ("Engagement Manager", "core deal team"),
+    ("Pricer", "core deal team"),
+    ("Financial Analyst", "core deal team"),
+    ("Contracts Lead", "core deal team"),
+    ("Technical Solution Architect", "technical support team"),
+    ("Cross Tower Technical Solution Architect", "technical support team"),
+    ("Security Architect", "technical support team"),
+    ("Delivery Project Executive", "delivery team"),
+    ("Transition Manager", "delivery team"),
+    ("HR Lead", "delivery team"),
+)
+
+CLIENT_ROLES: Tuple[Tuple[str, str], ...] = (
+    ("Chief Information Officer", "client team"),
+    ("Procurement Director", "client team"),
+    ("IT Director", "client team"),
+    ("Client Executive", "client team"),
+)
+
+ROLE_CATEGORIES: Tuple[str, ...] = (
+    "core deal team",
+    "technical support team",
+    "delivery team",
+    "client team",
+    "third party consultant",
+)
+
+
+@dataclass(frozen=True)
+class Person:
+    """One person in the synthetic world.
+
+    Attributes:
+        first: Given name.
+        last: Family name.
+        organization: Employer display name.
+        email: Corporate address (firstname.lastname@domain).
+        phone: Normalized phone number.
+    """
+
+    first: str
+    last: str
+    organization: str
+    email: str
+    phone: str
+
+    @property
+    def full_name(self) -> str:
+        """``First Last`` display form."""
+        return f"{self.first} {self.last}"
+
+    @property
+    def reversed_name(self) -> str:
+        """``Last, First`` form, as badly-maintained rosters write it."""
+        return f"{self.last}, {self.first}"

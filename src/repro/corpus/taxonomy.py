@@ -1,0 +1,289 @@
+"""The IT-services taxonomy: towers, subtowers, aliases, technologies.
+
+Paper terminology: a *tower* is a service area in an engagement's scope
+("Customer Service Center", "Storage Management Services", ...).  The
+taxonomy mirrors the service names visible in the paper's Figures 4-9,
+including the crucial structure behind Meta-query 1: **End User
+Services** is a parent with subtowers **Customer Service Center** and
+**Distributed Client Services**, and every service has inconsistent
+surface forms ("CSC", "Customer Services Center") — the paper notes the
+phrase is "not used consistently throughout the organization", which is
+why naive keyword search over-matches.
+
+The ontology-based annotator (:mod:`repro.annotators.ontology`) walks
+this same structure, so taxonomy quality directly drives annotation
+quality (Table 1's "ontology-based" row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CorpusError
+
+__all__ = ["ServiceNode", "ServiceTaxonomy", "build_default_taxonomy"]
+
+
+@dataclass(frozen=True)
+class ServiceNode:
+    """One service in the taxonomy.
+
+    Attributes:
+        name: Canonical name ("Customer Service Center").
+        acronym: Common acronym ("CSC"), empty when none.
+        aliases: Other surface forms seen in documents.
+        parent: Canonical name of the parent tower, None for top level.
+        technologies: Technology terms typical for this service; used by
+            the corpus generator and the technology-solution annotator.
+    """
+
+    name: str
+    acronym: str = ""
+    aliases: Tuple[str, ...] = ()
+    parent: Optional[str] = None
+    technologies: Tuple[str, ...] = ()
+
+    @property
+    def surface_forms(self) -> Tuple[str, ...]:
+        """All ways this service appears in text, canonical first."""
+        forms = [self.name]
+        if self.acronym:
+            forms.append(self.acronym)
+        forms.extend(self.aliases)
+        return tuple(forms)
+
+
+class ServiceTaxonomy:
+    """Lookup structure over service nodes."""
+
+    def __init__(self, nodes: List[ServiceNode]) -> None:
+        self._nodes: Dict[str, ServiceNode] = {}
+        self._by_surface: Dict[str, ServiceNode] = {}
+        for node in nodes:
+            if node.name.lower() in self._nodes:
+                raise CorpusError(f"duplicate service {node.name!r}")
+            self._nodes[node.name.lower()] = node
+        for node in nodes:
+            if node.parent is not None and node.parent.lower() not in self._nodes:
+                raise CorpusError(
+                    f"service {node.name!r} has unknown parent "
+                    f"{node.parent!r}"
+                )
+            for surface in node.surface_forms:
+                # First registration wins so canonical names cannot be
+                # shadowed by another node's alias.
+                self._by_surface.setdefault(surface.lower(), node)
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, name: str) -> ServiceNode:
+        """Node by canonical name."""
+        node = self._nodes.get(name.lower())
+        if node is None:
+            raise CorpusError(f"unknown service {name!r}")
+        return node
+
+    def resolve(self, surface: str) -> Optional[ServiceNode]:
+        """Node whose canonical name/acronym/alias equals ``surface``."""
+        return self._by_surface.get(surface.strip().lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._nodes
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def towers(self) -> List[ServiceNode]:
+        """Top-level services, in registration order."""
+        return [n for n in self._nodes.values() if n.parent is None]
+
+    @property
+    def all_nodes(self) -> List[ServiceNode]:
+        """Every node, towers first then subtowers, registration order."""
+        return list(self._nodes.values())
+
+    def subtowers(self, name: str) -> List[ServiceNode]:
+        """Direct children of the named tower."""
+        self.get(name)
+        return [
+            n
+            for n in self._nodes.values()
+            if n.parent is not None and n.parent.lower() == name.lower()
+        ]
+
+    def expand(self, name: str) -> List[ServiceNode]:
+        """The node plus all its descendants (Meta-query 1's expansion)."""
+        node = self.get(name)
+        expanded = [node]
+        for child in self.subtowers(name):
+            expanded.extend(self.expand(child.name))
+        return expanded
+
+    def canonical(self, surface: str) -> Optional[str]:
+        """Canonical service name for any surface form, or None."""
+        node = self.resolve(surface)
+        return node.name if node is not None else None
+
+    def suggest(self, surface: str, limit: int = 3,
+                min_similarity: float = 0.75) -> List[str]:
+        """Closest canonical names for a misspelled/unknown concept.
+
+        Used by the search front-end for a "did you mean" affordance
+        when the tower criterion resolves to nothing.  Similarity is the
+        best Jaro-Winkler score over each node's surface forms.
+        """
+        from repro.text.similarity import jaro_winkler
+
+        surface = surface.strip().lower()
+        if not surface:
+            return []
+        scored = []
+        for node in self._nodes.values():
+            best = max(
+                jaro_winkler(surface, form.lower())
+                for form in node.surface_forms
+            )
+            if best >= min_similarity:
+                scored.append((best, node.name))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [name for _, name in scored[:limit]]
+
+
+def build_default_taxonomy() -> ServiceTaxonomy:
+    """The taxonomy used throughout the reproduction.
+
+    Tower and subtower names follow the paper's screenshots (Figures
+    4-9); technologies are plausible mid-2000s IT-services vocabulary
+    chosen so each tower has distinctive terms ("data replication" lives
+    under Storage Management Services, as in Meta-query 4).
+    """
+    nodes = [
+        ServiceNode(
+            "End User Services", "EUS",
+            aliases=("End-User Services",),
+            technologies=("desktop imaging", "service desk tooling"),
+        ),
+        ServiceNode(
+            "Customer Service Center", "CSC",
+            aliases=("Customer Services Center", "Call Center Services"),
+            parent="End User Services",
+            technologies=("call routing", "IVR scripting",
+                          "ticket tracking"),
+        ),
+        ServiceNode(
+            "Distributed Client Services", "DCS",
+            aliases=("Distributed Computing Services", "Desktop Services"),
+            parent="End User Services",
+            technologies=("software distribution", "patch management",
+                          "desktop imaging"),
+        ),
+        ServiceNode(
+            "Storage Management Services", "SMS",
+            aliases=("Storage Services",),
+            technologies=("data replication", "SAN fabric design",
+                          "tape backup automation", "snapshot mirroring"),
+        ),
+        ServiceNode(
+            "Server Systems Management", "SSM",
+            aliases=("Server Management",),
+            technologies=("server consolidation", "capacity monitoring",
+                          "blade provisioning"),
+        ),
+        ServiceNode(
+            "Network Services", "",
+            technologies=("MPLS routing", "network monitoring"),
+        ),
+        ServiceNode(
+            "LAN", "",
+            parent="Network Services",
+            technologies=("switch fabric", "VLAN segmentation"),
+        ),
+        ServiceNode(
+            "WAN", "",
+            parent="Network Services",
+            technologies=("MPLS routing", "bandwidth shaping"),
+        ),
+        ServiceNode(
+            "Voice Services", "",
+            parent="Network Services",
+            technologies=("VoIP migration", "PBX consolidation"),
+        ),
+        ServiceNode(
+            "Data Network Services", "DNS",
+            parent="Network Services",
+            technologies=("network monitoring", "firewall management"),
+        ),
+        ServiceNode(
+            "Mainframe Services", "",
+            aliases=("Mainframe TSA Services",),
+            technologies=("LPAR tuning", "batch scheduling",
+                          "sysplex management"),
+        ),
+        ServiceNode(
+            "Midrange Services", "",
+            technologies=("AIX administration", "cluster failover"),
+        ),
+        ServiceNode(
+            "AS400", "",
+            aliases=("AS/400",),
+            technologies=("RPG maintenance", "iSeries consolidation"),
+        ),
+        ServiceNode(
+            "Data Center Services", "DCS2",
+            aliases=("Data Center Operations",),
+            technologies=("facility consolidation", "power management"),
+        ),
+        ServiceNode(
+            "Disaster Recovery Services", "DRS",
+            aliases=("BCRS", "Business Continuity and Recovery Services"),
+            technologies=("data replication", "hot-site failover",
+                          "recovery time objectives"),
+        ),
+        ServiceNode(
+            "eBusiness Services", "",
+            aliases=("e-Business Services",),
+            technologies=("web hosting", "portal integration"),
+        ),
+        ServiceNode(
+            "Application Management Services", "AMS",
+            technologies=("code remediation", "release management"),
+        ),
+        ServiceNode(
+            "Asset Management", "",
+            technologies=("license tracking", "asset discovery"),
+        ),
+        ServiceNode(
+            "Procurement Services", "",
+            technologies=("supplier catalogs", "purchase order workflow"),
+        ),
+        ServiceNode(
+            "Security Services", "",
+            technologies=("intrusion detection", "identity management",
+                          "firewall management"),
+        ),
+        ServiceNode(
+            "Groupware", "",
+            technologies=("mail migration", "collaboration tooling"),
+        ),
+        ServiceNode(
+            "Infrastructure Services", "",
+            technologies=("middleware support", "monitoring framework"),
+        ),
+        ServiceNode(
+            "Human Resources", "HR",
+            aliases=("HR Services",),
+            technologies=("payroll interfaces", "benefits administration"),
+        ),
+        ServiceNode(
+            "Compliance And Regulatory", "",
+            technologies=("audit trail reporting", "records retention"),
+        ),
+        ServiceNode(
+            "Help Desk Services", "",
+            aliases=("Helpdesk",),
+            parent="End User Services",
+            technologies=("ticket tracking", "knowledge base tooling"),
+        ),
+    ]
+    return ServiceTaxonomy(nodes)

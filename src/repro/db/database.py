@@ -1,0 +1,335 @@
+"""The Database: catalog, SQL execution, transactions, foreign keys.
+
+This is the DB2 stand-in the EIL organized-information layer writes to
+and the synopsis queries read from.  One :class:`Database` owns a set of
+:class:`~repro.db.table.Table` objects and exposes:
+
+* ``execute(sql, params)`` — parse and run any supported statement.
+* Programmatic helpers (``create_table``, ``insert``, ``select`` with a
+  prebuilt :class:`SelectStatement`) for hot paths that should skip the
+  parser.
+* Undo-log transactions: ``begin`` / ``commit`` / ``rollback`` and a
+  ``transaction()`` context manager.  Statements outside a transaction
+  auto-commit.
+* Foreign keys with RESTRICT semantics, checked at statement level.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.db.query import ResultSet, SelectStatement, execute_select
+from repro.db.schema import ForeignKey, TableSchema
+from repro.db.sql import (
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Statement,
+    Update,
+    parse,
+)
+from repro.db.table import Table
+from repro.errors import (
+    IntegrityError,
+    ProgrammingError,
+    SchemaError,
+    TransactionError,
+)
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory relational database."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._undo_log: Optional[
+            List[Tuple[str, str, int, Optional[tuple], Optional[tuple]]]
+        ] = None
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register ``schema`` and return its empty table."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            self._validate_foreign_key(schema, fk)
+        table = Table(schema, journal=self._journal)
+        self._tables[schema.name] = table
+        return table
+
+    def _validate_foreign_key(self, schema: TableSchema, fk: ForeignKey) -> None:
+        parent = self._tables.get(fk.parent_table.lower())
+        if parent is None:
+            raise SchemaError(
+                f"foreign key on {schema.name!r} references unknown table "
+                f"{fk.parent_table!r}"
+            )
+        parent_pk = parent.schema.primary_key
+        normalized = tuple(c.lower() for c in fk.parent_columns)
+        if normalized != parent_pk:
+            raise SchemaError(
+                f"foreign key must reference the primary key of "
+                f"{fk.parent_table!r} ({parent_pk}), got {normalized}"
+            )
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; fails if another table references it."""
+        lowered = name.lower()
+        if lowered not in self._tables:
+            raise ProgrammingError(f"no table {name!r}")
+        for other in self._tables.values():
+            if other.schema.name == lowered:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.parent_table.lower() == lowered:
+                    raise IntegrityError(
+                        f"cannot drop {name!r}: referenced by "
+                        f"{other.schema.name!r}"
+                    )
+        del self._tables[lowered]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (case-insensitive)."""
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise ProgrammingError(f"no table {name!r}")
+        return table
+
+    @property
+    def table_names(self) -> List[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    # -- transactions -----------------------------------------------------
+
+    def begin(self) -> None:
+        """Start a transaction; mutations become revertible."""
+        if self._undo_log is not None:
+            raise TransactionError("transaction already in progress")
+        self._undo_log = []
+
+    def commit(self) -> None:
+        """Make the current transaction's changes permanent."""
+        if self._undo_log is None:
+            raise TransactionError("no transaction in progress")
+        self._undo_log = None
+
+    def rollback(self) -> None:
+        """Revert every mutation since ``begin``."""
+        if self._undo_log is None:
+            raise TransactionError("no transaction in progress")
+        log, self._undo_log = self._undo_log, None
+        for table_name, op, rowid, old_row, _new_row in reversed(log):
+            table = self._tables[table_name]
+            if op == "insert":
+                table.undo_insert(rowid)
+            elif op == "delete":
+                assert old_row is not None
+                table.undo_delete(rowid, old_row)
+            else:  # update
+                assert old_row is not None
+                table.undo_update(rowid, old_row)
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """Context manager: commit on success, rollback on exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
+    def _journal(
+        self,
+        table_name: str,
+        op: str,
+        rowid: int,
+        old_row: Optional[tuple],
+        new_row: Optional[tuple],
+    ) -> None:
+        if self._undo_log is not None:
+            self._undo_log.append((table_name, op, rowid, old_row, new_row))
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a transaction is open."""
+        return self._undo_log is not None
+
+    # -- foreign-key checks --------------------------------------------------
+
+    def _check_fk_on_insert(
+        self, table: Table, values: Mapping[str, Any]
+    ) -> None:
+        row = table.schema.validate_row(values)
+        for fk in table.schema.foreign_keys:
+            key = table.schema.key_of(row, fk.columns)
+            if None in key:
+                continue  # SQL: NULL FK values are not checked
+            parent = self.table(fk.parent_table)
+            index = parent.index_on(parent.schema.primary_key)
+            assert index is not None  # PK always indexed
+            if not index.lookup(key):
+                raise IntegrityError(
+                    f"foreign key violation: {table.schema.name!r}"
+                    f"{fk.columns} = {key!r} has no parent in "
+                    f"{fk.parent_table!r}"
+                )
+
+    def _check_fk_on_delete(self, table: Table, row: tuple) -> None:
+        if not table.schema.primary_key:
+            return
+        key = table.schema.key_of(row, table.schema.primary_key)
+        for child in self._tables.values():
+            for fk in child.schema.foreign_keys:
+                if fk.parent_table.lower() != table.schema.name:
+                    continue
+                index = child.index_on(fk.columns)
+                if index is not None:
+                    referencing = index.lookup(key)
+                else:
+                    referencing = {
+                        rid
+                        for rid, child_row in child.scan()
+                        if child.schema.key_of(child_row, fk.columns) == key
+                    }
+                if referencing:
+                    raise IntegrityError(
+                        f"cannot delete from {table.schema.name!r}: "
+                        f"row {key!r} referenced by {child.schema.name!r}"
+                    )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Parse and execute one SQL statement.
+
+        Non-SELECT statements return a ResultSet with a single
+        ``rowcount`` column so callers can treat everything uniformly.
+        """
+        statement = parse(sql)
+        return self.execute_statement(statement, params)
+
+    def execute_statement(
+        self, statement: Statement, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        """Execute an already-parsed statement."""
+        if isinstance(statement, SelectStatement):
+            return execute_select(self, statement, params)
+        if isinstance(statement, CreateTable):
+            self.create_table(statement.schema)
+            return _rowcount(0)
+        if isinstance(statement, CreateIndex):
+            table = self.table(statement.table)
+            table.create_index(
+                statement.name,
+                tuple(c.lower() for c in statement.columns),
+                unique=statement.unique,
+            )
+            return _rowcount(0)
+        if isinstance(statement, DropTable):
+            self.drop_table(statement.table)
+            return _rowcount(0)
+        if isinstance(statement, Insert):
+            return _rowcount(self._execute_insert(statement, params))
+        if isinstance(statement, Update):
+            return _rowcount(self._execute_update(statement, params))
+        if isinstance(statement, Delete):
+            return _rowcount(self._execute_delete(statement, params))
+        raise ProgrammingError(f"unsupported statement {statement!r}")
+
+    def _execute_insert(self, statement: Insert, params: Sequence[Any]) -> int:
+        table = self.table(statement.table)
+        columns = (
+            tuple(c.lower() for c in statement.columns)
+            or tuple(table.schema.column_names)
+        )
+        count = 0
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(columns):
+                raise ProgrammingError(
+                    f"INSERT has {len(value_exprs)} values for "
+                    f"{len(columns)} columns"
+                )
+            values = {
+                column: expr.bind(params).evaluate({})
+                for column, expr in zip(columns, value_exprs)
+            }
+            self.insert(statement.table, values)
+            count += 1
+        return count
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
+        """Insert one row (programmatic path); returns the row id."""
+        table = self.table(table_name)
+        self._check_fk_on_insert(table, values)
+        return table.insert(values)
+
+    def _execute_update(self, statement: Update, params: Sequence[Any]) -> int:
+        table = self.table(statement.table)
+        where = statement.where.bind(params) if statement.where else None
+        prefix = table.schema.name + "."
+        count = 0
+        for rowid, row in list(table.scan()):
+            context = {
+                prefix + c: v
+                for c, v in zip(table.schema.column_names, row)
+            }
+            if where is not None and where.evaluate(context) is not True:
+                continue
+            changes = {
+                column: expr.bind(params).evaluate(context)
+                for column, expr in statement.assignments
+            }
+            merged = table.schema.row_dict(row)
+            merged.update({c.lower(): v for c, v in changes.items()})
+            self._check_fk_on_insert(table, merged)
+            table.update(rowid, changes)
+            count += 1
+        return count
+
+    def _execute_delete(self, statement: Delete, params: Sequence[Any]) -> int:
+        table = self.table(statement.table)
+        where = statement.where.bind(params) if statement.where else None
+        prefix = table.schema.name + "."
+        count = 0
+        for rowid, row in list(table.scan()):
+            context = {
+                prefix + c: v
+                for c, v in zip(table.schema.column_names, row)
+            }
+            if where is not None and where.evaluate(context) is not True:
+                continue
+            self._check_fk_on_delete(table, row)
+            table.delete(rowid)
+            count += 1
+        return count
+
+    def select(
+        self, statement: SelectStatement, params: Sequence[Any] = ()
+    ) -> ResultSet:
+        """Run a prebuilt SELECT (skips the SQL parser)."""
+        return execute_select(self, statement, params)
+
+    def query_one(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> Optional[Dict[str, Any]]:
+        """Execute a SELECT and return the first row as a dict, or None."""
+        result = self.execute(sql, params)
+        dicts = result.to_dicts()
+        return dicts[0] if dicts else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(tables={self.table_names})"
+
+
+def _rowcount(count: int) -> ResultSet:
+    return ResultSet(["rowcount"], [(count,)])

@@ -1,0 +1,423 @@
+"""Expression AST evaluated against rows (WHERE / SELECT / ORDER BY).
+
+Expressions evaluate against a *row context*: a mapping from column
+reference (possibly qualified, ``deals.deal_id``) to value.  NULL
+handling follows SQL three-valued logic: comparisons with NULL yield
+NULL (represented as None), AND/OR propagate it per the usual truth
+tables, and the executor treats a non-True WHERE result as "row
+filtered out".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProgrammingError
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Parameter",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "IsNull",
+    "InList",
+    "Like",
+    "Arithmetic",
+    "FunctionCall",
+    "RowContext",
+]
+
+RowContext = Mapping[str, Any]
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def evaluate(self, row: RowContext) -> Any:
+        """Evaluate against ``row``; None encodes SQL NULL/UNKNOWN."""
+        raise NotImplementedError
+
+    def references(self) -> Iterator[str]:
+        """Yield column references appearing in this subtree."""
+        return iter(())
+
+    def bind(self, params: Sequence[Any]) -> "Expression":
+        """Return a copy with :class:`Parameter` placeholders substituted."""
+        return self
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: RowContext) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional ``?`` placeholder, substituted at bind time."""
+
+    position: int
+
+    def evaluate(self, row: RowContext) -> Any:
+        raise ProgrammingError(
+            f"unbound parameter at position {self.position}; "
+            "pass params to execute()"
+        )
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        if self.position >= len(params):
+            raise ProgrammingError(
+                f"query expects at least {self.position + 1} parameter(s), "
+                f"got {len(params)}"
+            )
+        return Literal(params[self.position])
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified with a table alias."""
+
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        """Lookup key in the row context."""
+        if self.table:
+            return f"{self.table.lower()}.{self.name.lower()}"
+        return self.name.lower()
+
+    def evaluate(self, row: RowContext) -> Any:
+        key = self.key
+        if key in row:
+            return row[key]
+        # Unqualified name: resolve against qualified keys if unambiguous.
+        if self.table is None:
+            suffix = "." + self.name.lower()
+            matches = [k for k in row if k.endswith(suffix)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise ProgrammingError(f"ambiguous column {self.name!r}")
+        raise ProgrammingError(f"unknown column {self.key!r}")
+
+    def references(self) -> Iterator[str]:
+        yield self.key
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison with SQL NULL semantics."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ProgrammingError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise ProgrammingError(
+                f"cannot compare {type(left).__name__} with "
+                f"{type(right).__name__}"
+            ) from exc
+
+    def references(self) -> Iterator[str]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return Comparison(self.op, self.left.bind(params), self.right.bind(params))
+
+
+@dataclass(frozen=True)
+class LogicalAnd(Expression):
+    """Three-valued AND."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        left = _as_bool(self.left.evaluate(row))
+        if left is False:
+            return False
+        right = _as_bool(self.right.evaluate(row))
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+    def references(self) -> Iterator[str]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return LogicalAnd(self.left.bind(params), self.right.bind(params))
+
+
+@dataclass(frozen=True)
+class LogicalOr(Expression):
+    """Three-valued OR."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        left = _as_bool(self.left.evaluate(row))
+        if left is True:
+            return True
+        right = _as_bool(self.right.evaluate(row))
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    def references(self) -> Iterator[str]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return LogicalOr(self.left.bind(params), self.right.bind(params))
+
+
+@dataclass(frozen=True)
+class LogicalNot(Expression):
+    """Three-valued NOT."""
+
+    operand: Expression
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        value = _as_bool(self.operand.evaluate(row))
+        if value is None:
+            return None
+        return not value
+
+    def references(self) -> Iterator[str]:
+        yield from self.operand.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return LogicalNot(self.operand.bind(params))
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` — the only NULL-safe predicate."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: RowContext) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def references(self) -> Iterator[str]:
+        yield from self.operand.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return IsNull(self.operand.bind(params), self.negated)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    choices: Tuple[Expression, ...]
+    negated: bool = False
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        found = False
+        saw_null = False
+        for choice in self.choices:
+            candidate = choice.evaluate(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                found = True
+                break
+        if found:
+            return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def references(self) -> Iterator[str]:
+        yield from self.operand.references()
+        for choice in self.choices:
+            yield from choice.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return InList(
+            self.operand.bind(params),
+            tuple(c.bind(params) for c in self.choices),
+            self.negated,
+        )
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL LIKE with ``%`` and ``_`` wildcards, case-insensitive.
+
+    Case-insensitivity matches DB2's typical configuration for the
+    synopsis tables and is what the paper's form-based queries need
+    ("End User Services" vs "end user services").
+    """
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def evaluate(self, row: RowContext) -> Optional[bool]:
+        value = self.operand.evaluate(row)
+        pattern = self.pattern.evaluate(row)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise ProgrammingError("LIKE requires text operands")
+        result = bool(_like_regex(pattern).match(value))
+        return not result if self.negated else result
+
+    def references(self) -> Iterator[str]:
+        yield from self.operand.references()
+        yield from self.pattern.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return Like(
+            self.operand.bind(params), self.pattern.bind(params), self.negated
+        )
+
+
+_LIKE_CACHE: dict = {}
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        )
+        compiled = re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
+        if len(_LIKE_CACHE) < 4096:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic (+ also concatenates TEXT, like DB2's ||)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ProgrammingError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: RowContext) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        if self.op == "/" and right == 0:
+            return None
+        try:
+            return _ARITHMETIC[self.op](left, right)
+        except TypeError as exc:
+            raise ProgrammingError(
+                f"invalid operands for {self.op!r}: "
+                f"{type(left).__name__}, {type(right).__name__}"
+            ) from exc
+
+    def references(self) -> Iterator[str]:
+        yield from self.left.references()
+        yield from self.right.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return Arithmetic(self.op, self.left.bind(params), self.right.bind(params))
+
+
+_FUNCTIONS = {
+    "lower": lambda v: v.lower() if isinstance(v, str) else v,
+    "upper": lambda v: v.upper() if isinstance(v, str) else v,
+    "length": lambda v: len(v) if v is not None else None,
+    "trim": lambda v: v.strip() if isinstance(v, str) else v,
+    "abs": lambda v: abs(v) if v is not None else None,
+}
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Scalar function call (LOWER, UPPER, LENGTH, TRIM, ABS)."""
+
+    name: str
+    args: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.name.lower() not in _FUNCTIONS:
+            raise ProgrammingError(f"unknown function {self.name!r}")
+        if len(self.args) != 1:
+            raise ProgrammingError(
+                f"function {self.name!r} takes exactly one argument"
+            )
+
+    def evaluate(self, row: RowContext) -> Any:
+        value = self.args[0].evaluate(row)
+        if value is None:
+            return None
+        return _FUNCTIONS[self.name.lower()](value)
+
+    def references(self) -> Iterator[str]:
+        for arg in self.args:
+            yield from arg.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        return FunctionCall(self.name, tuple(a.bind(params) for a in self.args))
+
+
+def _as_bool(value: Any) -> Optional[bool]:
+    if value is None:
+        return None
+    return bool(value)

@@ -1,0 +1,185 @@
+"""Database persistence: JSON snapshot save/load.
+
+The organized information is rebuilt nightly in the paper's deployment,
+but the online side must start fast — so the engine supports dumping a
+whole :class:`~repro.db.database.Database` (schemas, constraints,
+indexes, rows) to a JSON file and restoring it without re-running the
+pipeline.  Dates are serialized as ISO strings and restored through the
+normal coercion path, so a loaded database is indistinguishable from
+the original.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from repro.db.database import Database
+from repro.db.index import SortedIndex
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import DataType
+from repro.errors import DatabaseError
+
+__all__ = ["dump_database", "load_database", "dumps_database",
+           "loads_database"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__date__" in value:
+        return datetime.date.fromisoformat(value["__date__"])
+    return value
+
+
+def dumps_database(db: Database) -> str:
+    """Serialize ``db`` to a JSON string."""
+    tables: List[Dict[str, Any]] = []
+    for name in db.table_names:
+        table = db.table(name)
+        schema = table.schema
+        tables.append(
+            {
+                "name": schema.name,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "dtype": column.dtype.value,
+                        "nullable": column.nullable,
+                        "default": _encode_value(column.default),
+                    }
+                    for column in schema.columns
+                ],
+                "primary_key": list(schema.primary_key),
+                "unique": [list(u) for u in schema.unique],
+                "foreign_keys": [
+                    {
+                        "columns": list(fk.columns),
+                        "parent_table": fk.parent_table,
+                        "parent_columns": list(fk.parent_columns),
+                    }
+                    for fk in schema.foreign_keys
+                ],
+                "indexes": [
+                    {
+                        "name": index.name,
+                        "columns": list(index.columns),
+                        "unique": index.unique,
+                        "sorted": isinstance(index, SortedIndex),
+                    }
+                    for index in table.indexes.values()
+                    if not index.name.startswith(("pk_", "uq_"))
+                ],
+                "rows": [
+                    [_encode_value(value) for value in row]
+                    for _, row in table.scan()
+                ],
+            }
+        )
+    return json.dumps({"version": _FORMAT_VERSION, "tables": tables})
+
+
+def loads_database(payload: str) -> Database:
+    """Rebuild a Database from :func:`dumps_database` output."""
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise DatabaseError(f"invalid database snapshot: {exc}") from exc
+    if document.get("version") != _FORMAT_VERSION:
+        raise DatabaseError(
+            f"unsupported snapshot version {document.get('version')!r}"
+        )
+    db = Database()
+    # Two passes: create all tables first (FKs may reference any order —
+    # but create_table validates parents exist, so order parent-first).
+    tables = document["tables"]
+    pending = list(tables)
+    created = set()
+    creation_order: List[Dict[str, Any]] = []
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for spec in pending:
+            parents = {
+                fk["parent_table"].lower()
+                for fk in spec["foreign_keys"]
+            }
+            if parents <= created:
+                _create_table(db, spec)
+                created.add(spec["name"])
+                creation_order.append(spec)
+                progress = True
+            else:
+                remaining.append(spec)
+        pending = remaining
+    if pending:
+        raise DatabaseError(
+            "snapshot has unresolvable foreign-key ordering: "
+            + ", ".join(spec["name"] for spec in pending)
+        )
+    # Rows must load parent tables first too, or FK checks reject
+    # children whose parents have not arrived yet.
+    for spec in creation_order:
+        table = db.table(spec["name"])
+        column_names = table.schema.column_names
+        for row in spec["rows"]:
+            db.insert(
+                spec["name"],
+                {
+                    column: _decode_value(value)
+                    for column, value in zip(column_names, row)
+                },
+            )
+    return db
+
+
+def _create_table(db: Database, spec: Dict[str, Any]) -> None:
+    schema = TableSchema(
+        spec["name"],
+        [
+            Column(
+                column["name"],
+                DataType(column["dtype"]),
+                column["nullable"],
+                _decode_value(column["default"]),
+            )
+            for column in spec["columns"]
+        ],
+        primary_key=spec["primary_key"],
+        unique=spec["unique"],
+        foreign_keys=[
+            ForeignKey(
+                tuple(fk["columns"]),
+                fk["parent_table"],
+                tuple(fk["parent_columns"]),
+            )
+            for fk in spec["foreign_keys"]
+        ],
+    )
+    table = db.create_table(schema)
+    for index in spec["indexes"]:
+        table.create_index(
+            index["name"],
+            tuple(index["columns"]),
+            unique=index["unique"],
+            sorted_=index["sorted"],
+        )
+
+
+def dump_database(db: Database, path: Union[str, pathlib.Path]) -> None:
+    """Write ``db`` to ``path`` as JSON."""
+    pathlib.Path(path).write_text(dumps_database(db))
+
+
+def load_database(path: Union[str, pathlib.Path]) -> Database:
+    """Load a database snapshot from ``path``."""
+    return loads_database(pathlib.Path(path).read_text())

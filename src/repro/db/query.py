@@ -1,0 +1,678 @@
+"""Logical query model, planner and executor for SELECT statements.
+
+The executor implements the relational operations EIL's synopsis queries
+need: scans with index-accelerated WHERE, inner/left joins (hash join for
+equi-joins, nested loop otherwise), grouping with the standard aggregate
+functions, HAVING, DISTINCT, ORDER BY and LIMIT/OFFSET.
+
+The planner is intentionally simple and transparent: it splits the WHERE
+clause into AND-ed conjuncts, looks for an equality or range predicate on
+a (leading column of an) index of the driving table, and uses it as a
+pre-filter.  The full WHERE clause is always re-applied afterwards, so
+index selection can never change results, only speed.  ``explain()``
+reports which access path was chosen; tests assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.db.expr import (
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    LogicalAnd,
+    RowContext,
+)
+from repro.db.index import SortedIndex
+from repro.db.table import Table
+from repro.errors import ProgrammingError
+
+__all__ = [
+    "AggregateCall",
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "OrderItem",
+    "SelectStatement",
+    "ResultSet",
+    "execute_select",
+]
+
+
+# ---------------------------------------------------------------------------
+# Statement model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """COUNT/SUM/AVG/MIN/MAX over a group.
+
+    ``arg`` is None only for ``COUNT(*)``.  Aggregates are evaluated by
+    the executor's grouping stage, never via :meth:`evaluate`.
+    """
+
+    func: str
+    arg: Optional[Expression] = None
+    distinct: bool = False
+
+    _FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.func.lower() not in self._FUNCS:
+            raise ProgrammingError(f"unknown aggregate {self.func!r}")
+        if self.arg is None and self.func.lower() != "count":
+            raise ProgrammingError(f"{self.func}(*) is not valid")
+
+    def evaluate(self, row: RowContext) -> Any:
+        raise ProgrammingError(
+            "aggregate evaluated outside GROUP BY context"
+        )
+
+    def references(self) -> Iterator[str]:
+        if self.arg is not None:
+            yield from self.arg.references()
+
+    def bind(self, params: Sequence[Any]) -> Expression:
+        arg = self.arg.bind(params) if self.arg is not None else None
+        return AggregateCall(self.func, arg, self.distinct)
+
+    def compute(self, rows: Sequence[RowContext]) -> Any:
+        """Evaluate this aggregate over the rows of one group."""
+        func = self.func.lower()
+        if self.arg is None:
+            return len(rows)
+        values = [self.arg.evaluate(row) for row in rows]
+        values = [v for v in values if v is not None]
+        if self.distinct:
+            values = list(dict.fromkeys(values))
+        if func == "count":
+            return len(values)
+        if not values:
+            return None
+        if func == "sum":
+            return sum(values)
+        if func == "avg":
+            return sum(values) / len(values)
+        if func == "min":
+            return min(values)
+        return max(values)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected output column; ``star=True`` expands to all columns."""
+
+    expr: Optional[Expression] = None
+    alias: Optional[str] = None
+    star: bool = False
+    star_table: Optional[str] = None  # for `alias.*`
+
+    def __post_init__(self) -> None:
+        if not self.star and self.expr is None:
+            raise ProgrammingError("select item needs an expression or *")
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause with an optional alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """The name rows from this source are qualified with."""
+        return (self.alias or self.table).lower()
+
+
+@dataclass(frozen=True)
+class Join:
+    """One JOIN clause."""
+
+    ref: TableRef
+    on: Expression
+    kind: str = "inner"  # 'inner' | 'left'
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("inner", "left"):
+            raise ProgrammingError(f"unsupported join kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A fully parsed/constructed SELECT."""
+
+    items: Tuple[SelectItem, ...]
+    from_ref: TableRef
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+
+    def bind(self, params: Sequence[Any]) -> "SelectStatement":
+        """Substitute ``?`` placeholders with ``params``."""
+        return SelectStatement(
+            items=tuple(
+                SelectItem(
+                    item.expr.bind(params) if item.expr else None,
+                    item.alias,
+                    item.star,
+                    item.star_table,
+                )
+                for item in self.items
+            ),
+            from_ref=self.from_ref,
+            joins=tuple(
+                Join(j.ref, j.on.bind(params), j.kind) for j in self.joins
+            ),
+            where=self.where.bind(params) if self.where else None,
+            group_by=tuple(g.bind(params) for g in self.group_by),
+            having=self.having.bind(params) if self.having else None,
+            order_by=tuple(
+                OrderItem(o.expr.bind(params), o.descending)
+                for o in self.order_by
+            ),
+            limit=self.limit,
+            offset=self.offset,
+            distinct=self.distinct,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResultSet:
+    """Materialized query result.
+
+    Attributes:
+        columns: Output column names, in order.
+        rows: Result tuples.
+        plan: Human-readable access-path notes from the planner.
+    """
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    plan: List[str] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        """The first row, or None if empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ProgrammingError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as a list of column->value dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of the named output column."""
+        try:
+            position = self.columns.index(name)
+        except ValueError:
+            raise ProgrammingError(f"no output column {name!r}") from None
+        return [row[position] for row in self.rows]
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(expression: Optional[Expression]) -> List[Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, LogicalAnd):
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]
+
+
+def _column_of(
+    expression: Expression, source: TableRef, table: Table
+) -> Optional[str]:
+    """If ``expression`` is a ColumnRef on ``source``, its column name."""
+    if not isinstance(expression, ColumnRef):
+        return None
+    if expression.table is not None and expression.table.lower() != source.name:
+        return None
+    if not table.schema.has_column(expression.name):
+        return None
+    return expression.name.lower()
+
+
+def _plan_base_rowids(
+    table: Table,
+    source: TableRef,
+    where: Optional[Expression],
+    plan: List[str],
+) -> Iterable[int]:
+    """Choose an access path for the driving table.
+
+    Preference: single-column unique/equality index lookup, then sorted-
+    index range scan, then full scan.  Only constant (Literal) right
+    sides qualify — parameters are bound before planning.
+    """
+    equality: List[Tuple[str, Any]] = []
+    ranges: List[Tuple[str, str, Any]] = []
+    for conjunct in _conjuncts(where):
+        if not isinstance(conjunct, Comparison):
+            continue
+        left, right = conjunct.left, conjunct.right
+        op = conjunct.op
+        # Normalize `literal op column` to `column op' literal`.
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not isinstance(right, Literal) or right.value is None:
+            continue
+        column = _column_of(left, source, table)
+        if column is None:
+            continue
+        if op == "=":
+            equality.append((column, right.value))
+        elif op in ("<", "<=", ">", ">="):
+            ranges.append((column, op, right.value))
+
+    for column, value in equality:
+        index = table.index_on((column,))
+        if index is not None:
+            plan.append(f"index lookup {index.name}({column}={value!r})")
+            return sorted(index.lookup((value,)))
+
+    for column, op, value in ranges:
+        index = table.index_on((column,))
+        if isinstance(index, SortedIndex):
+            plan.append(f"index range {index.name}({column} {op} {value!r})")
+            if op in ("<", "<="):
+                return index.range(None, (value,), include_high=op == "<=")
+            return index.range((value,), None, include_low=op == ">=")
+
+    plan.append(f"full scan {table.schema.name}")
+    return (rowid for rowid, _ in table.scan())
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class _Catalog:
+    """Minimal protocol the executor needs: table lookup by name."""
+
+    def table(self, name: str) -> Table:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _contexts_for(
+    table: Table, ref: TableRef, rowids: Iterable[int]
+) -> List[Dict[str, Any]]:
+    prefix = ref.name + "."
+    columns = table.schema.column_names
+    contexts = []
+    for rowid in rowids:
+        row = table.row(rowid)
+        contexts.append({prefix + c: v for c, v in zip(columns, row)})
+    return contexts
+
+
+def _equi_join_keys(
+    on: Expression, left_names: List[str], right_name: str
+) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """Detect ``left.col = right.col`` to enable a hash join."""
+    if not (isinstance(on, Comparison) and on.op == "="):
+        return None
+    sides = [on.left, on.right]
+    if not all(isinstance(side, ColumnRef) and side.table for side in sides):
+        return None
+    a, b = sides  # type: ignore[assignment]
+    if a.table.lower() in left_names and b.table.lower() == right_name:
+        return a, b
+    if b.table.lower() in left_names and a.table.lower() == right_name:
+        return b, a
+    return None
+
+
+def execute_select(
+    catalog: Any, statement: SelectStatement, params: Sequence[Any] = ()
+) -> ResultSet:
+    """Execute ``statement`` against ``catalog`` (a Database).
+
+    ``params`` replaces ``?`` placeholders positionally before planning,
+    so parameter values participate in index selection.
+    """
+    statement = statement.bind(params)
+    plan: List[str] = []
+
+    # FROM: driving table, index-assisted when WHERE allows.
+    base_table = catalog.table(statement.from_ref.table)
+    # Index pre-filter is only sound when its predicate applies to the
+    # base table before joins; the full WHERE is re-applied after joins,
+    # but a LEFT-joined row must not be lost to a pre-filter on another
+    # table, which cannot happen since we only match base-table columns.
+    rowids = _plan_base_rowids(base_table, statement.from_ref,
+                               statement.where, plan)
+    rows = _contexts_for(base_table, statement.from_ref, rowids)
+    seen_names = [statement.from_ref.name]
+
+    # JOINs.
+    for join in statement.joins:
+        right_table = catalog.table(join.ref.table)
+        right_rows = _contexts_for(
+            right_table, join.ref, (rid for rid, _ in right_table.scan())
+        )
+        keys = _equi_join_keys(join.on, seen_names, join.ref.name)
+        joined: List[Dict[str, Any]] = []
+        if keys is not None:
+            left_key, right_key = keys
+            plan.append(f"hash join {join.ref.name} on {right_key.key}")
+            buckets: Dict[Any, List[Dict[str, Any]]] = {}
+            for right_row in right_rows:
+                key = right_row[right_key.key]
+                if key is not None:
+                    buckets.setdefault(key, []).append(right_row)
+            for left_row in rows:
+                matches = buckets.get(left_row.get(left_key.key), [])
+                for right_row in matches:
+                    merged = dict(left_row)
+                    merged.update(right_row)
+                    joined.append(merged)
+                if not matches and join.kind == "left":
+                    merged = dict(left_row)
+                    merged.update(_null_row(right_table, join.ref))
+                    joined.append(merged)
+        else:
+            plan.append(f"nested loop join {join.ref.name}")
+            for left_row in rows:
+                matched = False
+                for right_row in right_rows:
+                    merged = dict(left_row)
+                    merged.update(right_row)
+                    if join.on.evaluate(merged) is True:
+                        joined.append(merged)
+                        matched = True
+                if not matched and join.kind == "left":
+                    merged = dict(left_row)
+                    merged.update(_null_row(right_table, join.ref))
+                    joined.append(merged)
+        rows = joined
+        seen_names.append(join.ref.name)
+
+    # WHERE.
+    if statement.where is not None:
+        rows = [r for r in rows if statement.where.evaluate(r) is True]
+
+    # Expand stars and name output columns.
+    items = _expand_items(statement, catalog, seen_names)
+    column_names = [_output_name(item, position)
+                    for position, item in enumerate(items)]
+
+    has_aggregates = any(
+        _contains_aggregate(item.expr) for item in items if item.expr
+    ) or statement.group_by or statement.having is not None
+
+    if has_aggregates:
+        output_rows = _execute_grouped(statement, items, rows)
+    else:
+        output_rows = [
+            tuple(item.expr.evaluate(row) for item in items)  # type: ignore[union-attr]
+            for row in rows
+        ]
+        if statement.order_by:
+            output_rows = _order(
+                statement.order_by, rows, output_rows, items
+            )
+
+    if has_aggregates and statement.order_by:
+        # Aggregated rows are ordered by output column only.
+        output_rows = _order_grouped(
+            statement.order_by, output_rows, items, column_names
+        )
+
+    if statement.distinct:
+        output_rows = list(dict.fromkeys(output_rows))
+
+    if statement.offset:
+        output_rows = output_rows[statement.offset:]
+    if statement.limit is not None:
+        output_rows = output_rows[: statement.limit]
+
+    return ResultSet(column_names, output_rows, plan)
+
+
+def _null_row(table: Table, ref: TableRef) -> Dict[str, Any]:
+    prefix = ref.name + "."
+    return {prefix + c: None for c in table.schema.column_names}
+
+
+def _expand_items(
+    statement: SelectStatement, catalog: Any, seen_names: List[str]
+) -> List[SelectItem]:
+    refs = {statement.from_ref.name: statement.from_ref.table}
+    for join in statement.joins:
+        refs[join.ref.name] = join.ref.table
+    items: List[SelectItem] = []
+    for item in statement.items:
+        if not item.star:
+            items.append(item)
+            continue
+        targets = (
+            [item.star_table.lower()] if item.star_table else seen_names
+        )
+        for name in targets:
+            if name not in refs:
+                raise ProgrammingError(f"unknown table alias {name!r}")
+            schema = catalog.table(refs[name]).schema
+            for column in schema.column_names:
+                items.append(
+                    SelectItem(ColumnRef(column, name), alias=column)
+                )
+    return items
+
+
+def _output_name(item: SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias.lower()
+    if isinstance(item.expr, ColumnRef):
+        return item.expr.name.lower()
+    if isinstance(item.expr, AggregateCall):
+        return item.expr.func.lower()
+    return f"col{position}"
+
+
+def _contains_aggregate(expression: Optional[Expression]) -> bool:
+    if expression is None:
+        return False
+    if isinstance(expression, AggregateCall):
+        return True
+    # Walk dataclass fields that hold expressions.
+    for attr in vars(expression).values():
+        if isinstance(attr, Expression) and _contains_aggregate(attr):
+            return True
+        if isinstance(attr, tuple) and any(
+            isinstance(e, Expression) and _contains_aggregate(e) for e in attr
+        ):
+            return True
+    return False
+
+
+def _fold_aggregates(
+    expression: Expression, group: Sequence[RowContext]
+) -> Expression:
+    """Replace every AggregateCall subtree with its computed Literal.
+
+    This lets arbitrary expressions over aggregates (``COUNT(*) > 1``,
+    ``SUM(a) / COUNT(a)``) evaluate with the ordinary machinery.
+    """
+    if isinstance(expression, AggregateCall):
+        return Literal(expression.compute(list(group)))
+    rebuilt: Dict[str, Any] = {}
+    changed = False
+    for name, attr in vars(expression).items():
+        if isinstance(attr, Expression):
+            folded = _fold_aggregates(attr, group)
+            changed = changed or folded is not attr
+            rebuilt[name] = folded
+        elif isinstance(attr, tuple) and any(
+            isinstance(element, Expression) for element in attr
+        ):
+            folded_tuple = tuple(
+                _fold_aggregates(element, group)
+                if isinstance(element, Expression)
+                else element
+                for element in attr
+            )
+            changed = changed or folded_tuple != attr
+            rebuilt[name] = folded_tuple
+        else:
+            rebuilt[name] = attr
+    if not changed:
+        return expression
+    return type(expression)(**rebuilt)
+
+
+def _evaluate_with_groups(
+    expression: Expression, group: List[RowContext], representative: RowContext
+) -> Any:
+    """Evaluate an output expression over a group.
+
+    AggregateCall nodes (anywhere in the tree) compute over the whole
+    group; the remaining structure is evaluated against the group's
+    representative row (valid because GROUP BY keys are constant within
+    a group).
+    """
+    return _fold_aggregates(expression, group).evaluate(representative)
+
+
+def _execute_grouped(
+    statement: SelectStatement,
+    items: List[SelectItem],
+    rows: List[Dict[str, Any]],
+) -> List[Tuple[Any, ...]]:
+    groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+    if statement.group_by:
+        for row in rows:
+            key = tuple(g.evaluate(row) for g in statement.group_by)
+            groups.setdefault(key, []).append(row)
+    else:
+        groups[()] = rows  # global aggregate; empty input => one group
+
+    output: List[Tuple[Any, ...]] = []
+    for key in groups:
+        group = groups[key]
+        representative = group[0] if group else {}
+        if statement.having is not None:
+            if _evaluate_with_groups(
+                statement.having, group, representative
+            ) is not True:
+                continue
+        output.append(
+            tuple(
+                _evaluate_with_groups(item.expr, group, representative)  # type: ignore[arg-type]
+                for item in items
+            )
+        )
+    return output
+
+
+class _NullsLast:
+    """Sort key wrapper: None sorts after every value, SQL-style."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_NullsLast") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsLast) and self.value == other.value
+
+
+def _order(
+    order_by: Tuple[OrderItem, ...],
+    rows: List[Dict[str, Any]],
+    output_rows: List[Tuple[Any, ...]],
+    items: List[SelectItem],
+) -> List[Tuple[Any, ...]]:
+    """Order non-grouped output by ORDER BY expressions over source rows."""
+    paired = list(zip(rows, output_rows))
+    for order_item in reversed(order_by):
+        paired.sort(
+            key=lambda pair: _NullsLast(order_item.expr.evaluate(pair[0])),
+            reverse=order_item.descending,
+        )
+    return [out for _, out in paired]
+
+
+def _order_grouped(
+    order_by: Tuple[OrderItem, ...],
+    output_rows: List[Tuple[Any, ...]],
+    items: List[SelectItem],
+    column_names: List[str],
+) -> List[Tuple[Any, ...]]:
+    """Order grouped output; ORDER BY must reference output columns."""
+    def key_position(expression: Expression) -> int:
+        if isinstance(expression, ColumnRef):
+            name = expression.name.lower()
+            if name in column_names:
+                return column_names.index(name)
+        for position, item in enumerate(items):
+            if item.expr == expression:
+                return position
+        raise ProgrammingError(
+            "ORDER BY with GROUP BY must reference an output column"
+        )
+
+    ordered = list(output_rows)
+    for order_item in reversed(order_by):
+        position = key_position(order_item.expr)
+        ordered.sort(
+            key=lambda row: _NullsLast(row[position]),
+            reverse=order_item.descending,
+        )
+    return ordered

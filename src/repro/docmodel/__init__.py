@@ -1,0 +1,34 @@
+"""Enterprise document model, structure-preserving parsers, workbooks."""
+
+from repro.docmodel.documents import (
+    EmailMessage,
+    EnterpriseDocument,
+    FormDocument,
+    Presentation,
+    Sheet,
+    Slide,
+    Spreadsheet,
+    TextDocument,
+)
+from repro.docmodel.parsers import (
+    STRUCTURE_TYPE_NAMES,
+    DocumentParser,
+    register_structure_types,
+)
+from repro.docmodel.repository import EngagementWorkbook, WorkbookCollection
+
+__all__ = [
+    "EnterpriseDocument",
+    "Presentation",
+    "Slide",
+    "Spreadsheet",
+    "Sheet",
+    "EmailMessage",
+    "FormDocument",
+    "TextDocument",
+    "DocumentParser",
+    "register_structure_types",
+    "STRUCTURE_TYPE_NAMES",
+    "EngagementWorkbook",
+    "WorkbookCollection",
+]

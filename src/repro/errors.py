@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so applications
+can catch one base class at API boundaries.  Database errors follow the
+DB-API 2.0 naming conventions (IntegrityError, ProgrammingError, ...)
+since the `repro.db` engine plays the role DB2 plays in the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatabaseError",
+    "SchemaError",
+    "TypeMismatchError",
+    "IntegrityError",
+    "ProgrammingError",
+    "SqlSyntaxError",
+    "TransactionError",
+    "SearchError",
+    "QuerySyntaxError",
+    "AnnotatorError",
+    "TypeSystemError",
+    "AccessDeniedError",
+    "CorpusError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# --- database -----------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition (duplicate column, unknown type, ...)."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value cannot be stored in a column of the declared type."""
+
+
+class IntegrityError(DatabaseError):
+    """Constraint violation: NOT NULL, UNIQUE, PRIMARY KEY, FOREIGN KEY."""
+
+
+class ProgrammingError(DatabaseError):
+    """Invalid operation: unknown table/column, wrong parameter count."""
+
+
+class SqlSyntaxError(ProgrammingError):
+    """The SQL text could not be parsed."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state (commit without begin, nested begin)."""
+
+
+# --- search -------------------------------------------------------------
+
+
+class SearchError(ReproError):
+    """Base class for full-text engine errors."""
+
+
+class QuerySyntaxError(SearchError):
+    """The search query string could not be parsed."""
+
+
+# --- annotation ---------------------------------------------------------
+
+
+class AnnotatorError(ReproError):
+    """An analysis engine failed or was misconfigured."""
+
+
+class TypeSystemError(AnnotatorError):
+    """Unknown annotation type or feature in the CAS type system."""
+
+
+# --- security / corpus / config ----------------------------------------
+
+
+class AccessDeniedError(ReproError):
+    """The principal is not authorized for the requested resource."""
+
+
+class CorpusError(ReproError):
+    """Invalid corpus configuration or generation failure."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid system configuration."""

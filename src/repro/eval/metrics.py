@@ -1,0 +1,96 @@
+"""Retrieval-quality metrics (paper Section 4's footnotes 5-7).
+
+Precision, recall and F-measure exactly as the paper defines them, plus
+NDCG for the ranking ablation (the paper ranks results but evaluates
+sets; the ablation bench needs an order-sensitive metric).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Set
+
+__all__ = ["PrfScores", "precision", "recall", "f_measure", "evaluate_sets",
+           "dcg", "ndcg"]
+
+
+def precision(retrieved: Set, relevant: Set) -> float:
+    """Correct answers returned / answers returned (paper footnote 6).
+
+    An empty retrieval set scores 1.0 — returning nothing asserts
+    nothing false.
+    """
+    if not retrieved:
+        return 1.0
+    return len(retrieved & relevant) / len(retrieved)
+
+
+def recall(retrieved: Set, relevant: Set) -> float:
+    """Correct answers returned / total correct answers (footnote 5).
+
+    With no relevant items, recall is 1.0 by convention.
+    """
+    if not relevant:
+        return 1.0
+    return len(retrieved & relevant) / len(relevant)
+
+
+def f_measure(precision_value: float, recall_value: float) -> float:
+    """2PR / (P + R) (paper footnote 7); 0 when both are 0."""
+    if precision_value + recall_value == 0:
+        return 0.0
+    return (
+        2 * precision_value * recall_value
+        / (precision_value + recall_value)
+    )
+
+
+@dataclass(frozen=True)
+class PrfScores:
+    """One system's P/R/F on one query."""
+
+    precision: float
+    recall: float
+    f_measure: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"P={self.precision:.2f} R={self.recall:.2f} "
+            f"F={self.f_measure:.2f}"
+        )
+
+
+def evaluate_sets(retrieved: Iterable, relevant: Iterable) -> PrfScores:
+    """P/R/F of a retrieved set against a relevant set."""
+    retrieved_set = set(retrieved)
+    relevant_set = set(relevant)
+    p = precision(retrieved_set, relevant_set)
+    r = recall(retrieved_set, relevant_set)
+    return PrfScores(p, r, f_measure(p, r))
+
+
+def dcg(gains: Sequence[float]) -> float:
+    """Discounted cumulative gain of a gain sequence (log2 discount)."""
+    return sum(
+        gain / math.log2(position + 2)
+        for position, gain in enumerate(gains)
+    )
+
+
+def ndcg(
+    ranked: Sequence, relevance: Mapping, k: int = 10
+) -> float:
+    """NDCG@k of ``ranked`` items against graded ``relevance``.
+
+    Items absent from ``relevance`` count as gain 0.  Returns 1.0 when
+    nothing is relevant (an empty ideal ranking cannot be beaten).
+    """
+    gains = [float(relevance.get(item, 0.0)) for item in ranked[:k]]
+    ideal = sorted(
+        (float(g) for g in relevance.values() if g > 0), reverse=True
+    )[:k]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0:
+        return 1.0
+    return dcg(gains) / ideal_dcg

@@ -1,0 +1,5 @@
+"""Intranet personnel directory (the paper's "hidden database")."""
+
+from repro.intranet.directory import DirectoryRecord, PersonnelDirectory
+
+__all__ = ["DirectoryRecord", "PersonnelDirectory"]

@@ -1,0 +1,67 @@
+"""Analysis pipeline: text -> index terms with positions.
+
+The same analyzer instance must be used at index time and at query time
+(stemming and stopping must agree on both sides); the engine owns one
+and exposes it to the query parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import Tokenizer
+
+__all__ = ["AnalyzedTerm", "Analyzer"]
+
+
+@dataclass(frozen=True)
+class AnalyzedTerm:
+    """A term ready for the index.
+
+    Attributes:
+        term: The normalized (lower-cased, stemmed) index term.
+        position: Ordinal of the term in its field (stopwords consume
+            positions so phrase queries stay aligned with the original
+            text).
+        start: Character offset in the source field.
+        end: One past the last character.
+    """
+
+    term: str
+    position: int
+    start: int
+    end: int
+
+
+class Analyzer:
+    """Tokenize, case-fold, drop stopwords, stem.
+
+    Args:
+        use_stemming: Disable to index surface forms (used by tests and
+            the exact-match People index).
+        use_stopwords: Disable to keep every token.
+    """
+
+    def __init__(self, use_stemming: bool = True, use_stopwords: bool = True):
+        self._tokenizer = Tokenizer()
+        self._stemmer = PorterStemmer() if use_stemming else None
+        self._stopwords = STOPWORDS if use_stopwords else frozenset()
+
+    def analyze(self, text: str) -> List[AnalyzedTerm]:
+        """Produce index terms for one field of text."""
+        terms: List[AnalyzedTerm] = []
+        for position, token in enumerate(self._tokenizer.iter_tokens(text)):
+            lowered = token.text.lower()
+            if lowered in self._stopwords:
+                continue
+            if self._stemmer is not None:
+                lowered = self._stemmer.stem(lowered)
+            terms.append(AnalyzedTerm(lowered, position, token.start, token.end))
+        return terms
+
+    def analyze_query_terms(self, text: str) -> List[str]:
+        """Normalize query text into bare terms (for term/phrase queries)."""
+        return [t.term for t in self.analyze(text)]

@@ -1,0 +1,77 @@
+"""Data-acquisition crawler: walks document sources into the index.
+
+The paper's offline pipeline starts with "Data Acquisition" components
+that crawl various data repositories.  The crawler here is source-
+agnostic: anything iterable over :class:`IndexableDocument` can be
+crawled, and the engagement-workbook repositories in
+:mod:`repro.docmodel` implement that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Protocol
+
+from repro.errors import SearchError
+from repro.search.document import IndexableDocument
+from repro.search.engine import SearchEngine
+
+__all__ = ["DocumentSource", "CrawlReport", "Crawler"]
+
+
+class DocumentSource(Protocol):
+    """Anything the crawler can pull documents from."""
+
+    def iter_documents(self) -> Iterable[IndexableDocument]:
+        """Yield the source's documents."""
+        ...
+
+
+@dataclass
+class CrawlReport:
+    """Outcome of one crawl.
+
+    Attributes:
+        indexed: Documents successfully indexed.
+        skipped: Documents rejected (already indexed, malformed).
+        errors: Human-readable reasons for each skip.
+    """
+
+    indexed: int = 0
+    skipped: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+class Crawler:
+    """Feeds document sources into a search engine."""
+
+    def __init__(self, engine: SearchEngine) -> None:
+        self.engine = engine
+
+    def crawl(self, source: DocumentSource) -> CrawlReport:
+        """Crawl one source; malformed documents are skipped, not fatal.
+
+        A crawl over enterprise repositories must be resilient: one bad
+        workbook must not abort the nightly rebuild, so per-document
+        failures are recorded in the report instead of raised.
+        """
+        report = CrawlReport()
+        for document in source.iter_documents():
+            try:
+                self.engine.add(document)
+            except SearchError as exc:
+                report.skipped += 1
+                report.errors.append(str(exc))
+            else:
+                report.indexed += 1
+        return report
+
+    def crawl_all(self, sources: Iterable[DocumentSource]) -> CrawlReport:
+        """Crawl several sources into one combined report."""
+        combined = CrawlReport()
+        for source in sources:
+            report = self.crawl(source)
+            combined.indexed += report.indexed
+            combined.skipped += report.skipped
+            combined.errors.extend(report.errors)
+        return combined

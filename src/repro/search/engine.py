@@ -1,0 +1,275 @@
+"""The keyword search engine (OmniFind substitute).
+
+Interprets the query AST over the inverted index, scores hits with BM25
+(configurable), and returns ranked :class:`SearchHit` lists with
+snippets.  A ``doc_filter`` restricts the searchable set — this is the
+hook the SIAPI facade uses to scope a search to the business activities
+selected by the synopsis query (paper Fig. 1, step 8).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
+
+from repro.errors import SearchError
+from repro.search.analyzer import Analyzer
+from repro.search.document import IndexableDocument, SearchHit
+from repro.search.inverted_index import InvertedIndex
+from repro.search.querylang import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    Query,
+    TermQuery,
+    parse_query,
+)
+from repro.search.scoring import Bm25Scorer, Scorer
+
+__all__ = ["SearchEngine"]
+
+DocFilter = Union[Set[str], Callable[[IndexableDocument], bool], None]
+
+
+class SearchEngine:
+    """Index + query interpreter + ranker.
+
+    Args:
+        analyzer: Shared analysis pipeline (defaults to stemmed+stopped).
+        scorer: Term scorer (defaults to BM25).
+        field_boosts: Multiplier per field name; unlisted fields get 1.0.
+            EIL boosts ``title`` because slide titles carry the key point
+            (paper Section 3.3, "Custom Parsing").
+    """
+
+    def __init__(
+        self,
+        analyzer: Optional[Analyzer] = None,
+        scorer: Optional[Scorer] = None,
+        field_boosts: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self.scorer: Scorer = scorer or Bm25Scorer()
+        self.field_boosts = dict(field_boosts or {})
+        self.index = InvertedIndex(self.analyzer)
+
+    # -- indexing -----------------------------------------------------------
+
+    def add(self, document: IndexableDocument) -> None:
+        """Index one document."""
+        self.index.add(document)
+
+    def add_all(self, documents: Iterable[IndexableDocument]) -> int:
+        """Index many documents; returns the count."""
+        count = 0
+        for document in documents:
+            self.add(document)
+            count += 1
+        return count
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document from the index."""
+        self.index.remove(doc_id)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- search --------------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[str, Query],
+        limit: Optional[int] = None,
+        doc_filter: DocFilter = None,
+    ) -> List[SearchHit]:
+        """Run ``query`` and return ranked hits.
+
+        Args:
+            query: Query string (parsed with the engine's grammar) or a
+                prebuilt AST.
+            limit: Maximum hits to return (None = all).
+            doc_filter: Restrict the searchable set — either a set of
+                doc ids or a predicate over stored documents.
+
+        Returns:
+            Hits sorted by descending score; ties broken by doc id for
+            determinism.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        scores = self._match(query)
+        allowed = self._allowed_ids(doc_filter)
+        if allowed is not None:
+            scores = {d: s for d, s in scores.items() if d in allowed}
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        surfaces = _query_surfaces(query)
+        hits = []
+        for doc_id, score in ranked:
+            document = self.index.document(doc_id)
+            hits.append(
+                SearchHit(
+                    doc_id=doc_id,
+                    score=score,
+                    document=document,
+                    snippet=_make_snippet(document.text, surfaces),
+                )
+            )
+        return hits
+
+    def count(self, query: Union[str, Query], doc_filter: DocFilter = None) -> int:
+        """Number of documents matching ``query`` (no ranking work)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        matched = set(self._match(query))
+        allowed = self._allowed_ids(doc_filter)
+        if allowed is not None:
+            matched &= allowed
+        return len(matched)
+
+    def _allowed_ids(self, doc_filter: DocFilter) -> Optional[Set[str]]:
+        if doc_filter is None:
+            return None
+        if isinstance(doc_filter, set):
+            return doc_filter
+        return {
+            doc_id
+            for doc_id in self.index.doc_ids
+            if doc_filter(self.index.document(doc_id))
+        }
+
+    # -- query interpretation ----------------------------------------------
+
+    def _match(self, query: Query) -> Dict[str, float]:
+        """Evaluate a query node to doc_id -> score."""
+        if isinstance(query, TermQuery):
+            return self._match_term(query)
+        if isinstance(query, PhraseQuery):
+            return self._match_phrase(query)
+        if isinstance(query, AndQuery):
+            return self._match_and(query.clauses)
+        if isinstance(query, OrQuery):
+            return self._match_or(query.clauses)
+        if isinstance(query, NotQuery):
+            # A bare negation matches everything except the clause; at
+            # top level that is "all documents minus matches" with a
+            # flat score, mirroring common engine behaviour.
+            excluded = set(self._match(query.clause))
+            return {
+                doc_id: 0.0
+                for doc_id in self.index.doc_ids - excluded
+            }
+        raise SearchError(f"unknown query node {query!r}")
+
+    def _match_term(self, query: TermQuery) -> Dict[str, float]:
+        terms = self.analyzer.analyze_query_terms(query.text)
+        if not terms:
+            return {}
+        if len(terms) > 1:
+            # A "term" that analyzes into several tokens (hyphens etc.)
+            # behaves as an implicit AND of its parts.
+            return self._match_and(
+                tuple(TermQuery(t, query.field) for t in terms)
+            )
+        return self._score_term(terms[0], query.field)
+
+    def _score_term(self, term: str, field: Optional[str]) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        fields = [field] if field is not None else self.index.fields
+        for field_name in fields:
+            boost = self.field_boosts.get(field_name, 1.0)
+            matching = self.index.matching_docs(term, field_name)
+            df = len(matching)  # computed once per (term, field)
+            for doc_id in matching:
+                contribution = self.scorer.score(
+                    self.index, term, doc_id, field_name, df=df
+                )
+                scores[doc_id] = scores.get(doc_id, 0.0) + boost * contribution
+        return scores
+
+    def _match_phrase(self, query: PhraseQuery) -> Dict[str, float]:
+        terms = self.analyzer.analyze_query_terms(query.text)
+        if not terms:
+            return {}
+        if len(terms) == 1:
+            return self._score_term(terms[0], query.field)
+        docs = self.index.phrase_docs(terms, query.field)
+        # Score each member term once over its full matching set, then
+        # sum per phrase document (per-document rescoring is quadratic).
+        contributions = [
+            self._score_term(term, query.field) for term in terms
+        ]
+        scores: Dict[str, float] = {}
+        for doc_id in docs:
+            total = sum(c.get(doc_id, 0.0) for c in contributions)
+            # Phrase matches are stronger evidence than the bag of words.
+            scores[doc_id] = total * 1.25
+        return scores
+
+    def _match_and(self, clauses) -> Dict[str, float]:
+        positive: Optional[Dict[str, float]] = None
+        negative: Set[str] = set()
+        for clause in clauses:
+            if isinstance(clause, NotQuery):
+                negative.update(self._match(clause.clause))
+                continue
+            matched = self._match(clause)
+            if positive is None:
+                positive = dict(matched)
+            else:
+                positive = {
+                    doc_id: score + matched[doc_id]
+                    for doc_id, score in positive.items()
+                    if doc_id in matched
+                }
+            if not positive:
+                return {}
+        if positive is None:
+            # All clauses negative: everything except the exclusions.
+            return {
+                doc_id: 0.0 for doc_id in self.index.doc_ids - negative
+            }
+        return {
+            doc_id: score
+            for doc_id, score in positive.items()
+            if doc_id not in negative
+        }
+
+    def _match_or(self, clauses) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        for clause in clauses:
+            for doc_id, score in self._match(clause).items():
+                scores[doc_id] = max(scores.get(doc_id, 0.0), score)
+        return scores
+
+
+def _query_surfaces(query: Query) -> List[str]:
+    """Positive surface strings in the query, for snippet highlighting."""
+    if isinstance(query, TermQuery):
+        return [query.text]
+    if isinstance(query, PhraseQuery):
+        return [query.text]
+    if isinstance(query, (AndQuery, OrQuery)):
+        surfaces: List[str] = []
+        for clause in query.clauses:
+            surfaces.extend(_query_surfaces(clause))
+        return surfaces
+    return []  # NotQuery: nothing to highlight
+
+
+def _make_snippet(text: str, surfaces: List[str], width: int = 80) -> str:
+    """A short window of text around the first query-term occurrence."""
+    lowered = text.lower()
+    best = None
+    for surface in surfaces:
+        position = lowered.find(surface.lower())
+        if position != -1 and (best is None or position < best):
+            best = position
+    if best is None:
+        snippet = text[:width]
+    else:
+        start = max(0, best - width // 3)
+        snippet = text[start:start + width]
+    return re.sub(r"\s+", " ", snippet).strip()

@@ -1,0 +1,212 @@
+"""Positional inverted index, one posting list per (field, term).
+
+Postings record term positions within each field so phrase queries can
+verify adjacency.  The index also maintains the per-field statistics the
+BM25 scorer needs: document frequency per term, field length per
+document, and average field length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SearchError
+from repro.search.analyzer import Analyzer
+from repro.search.document import IndexableDocument
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """The engine's storage: documents plus positional postings."""
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._documents: Dict[str, IndexableDocument] = {}
+        # field -> term -> doc_id -> sorted positions
+        self._postings: Dict[str, Dict[str, Dict[str, List[int]]]] = {}
+        # field -> doc_id -> token count
+        self._field_lengths: Dict[str, Dict[str, int]] = {}
+        # Running totals so average_length stays O(1); scoring calls it
+        # per (term, document) pair and a full re-sum would make large
+        # queries quadratic in corpus size.
+        self._field_token_totals: Dict[str, int] = {}
+        self._token_total = 0
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, document: IndexableDocument) -> None:
+        """Index ``document``; re-adding an id raises (delete first)."""
+        if document.doc_id in self._documents:
+            raise SearchError(f"document {document.doc_id!r} already indexed")
+        self._documents[document.doc_id] = document
+        for field_name, text in document.fields.items():
+            terms = self.analyzer.analyze(text)
+            field_postings = self._postings.setdefault(field_name, {})
+            for analyzed in terms:
+                field_postings.setdefault(analyzed.term, {}).setdefault(
+                    document.doc_id, []
+                ).append(analyzed.position)
+            self._field_lengths.setdefault(field_name, {})[
+                document.doc_id
+            ] = len(terms)
+            self._field_token_totals[field_name] = (
+                self._field_token_totals.get(field_name, 0) + len(terms)
+            )
+            self._token_total += len(terms)
+
+    def remove(self, doc_id: str) -> IndexableDocument:
+        """Remove a document from the index and return it."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            raise SearchError(f"document {doc_id!r} not indexed")
+        for field_name in document.fields:
+            field_postings = self._postings.get(field_name, {})
+            empty_terms = []
+            for term, docs in field_postings.items():
+                docs.pop(doc_id, None)
+                if not docs:
+                    empty_terms.append(term)
+            for term in empty_terms:
+                del field_postings[term]
+            lengths = self._field_lengths.get(field_name)
+            if lengths is not None:
+                length = lengths.pop(doc_id, 0)
+                self._field_token_totals[field_name] = (
+                    self._field_token_totals.get(field_name, 0) - length
+                )
+                self._token_total -= length
+        return document
+
+    # -- lookup ---------------------------------------------------------------
+
+    def document(self, doc_id: str) -> IndexableDocument:
+        """Fetch a stored document by id."""
+        document = self._documents.get(doc_id)
+        if document is None:
+            raise SearchError(f"document {doc_id!r} not indexed")
+        return document
+
+    def has_document(self, doc_id: str) -> bool:
+        """True if ``doc_id`` is indexed."""
+        return doc_id in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def doc_ids(self) -> Set[str]:
+        """Ids of all indexed documents."""
+        return set(self._documents)
+
+    @property
+    def fields(self) -> List[str]:
+        """All field names seen so far."""
+        return sorted(self._postings)
+
+    def postings(
+        self, term: str, field: Optional[str] = None
+    ) -> Dict[str, List[int]]:
+        """doc_id -> positions for ``term``.
+
+        With ``field=None`` the postings of all fields are merged
+        (positions are only meaningful within one field, so merged
+        postings carry position lists per contributing field appended —
+        callers doing phrase matching must pass an explicit field).
+        """
+        if field is not None:
+            return dict(self._postings.get(field, {}).get(term, {}))
+        merged: Dict[str, List[int]] = {}
+        for field_postings in self._postings.values():
+            for doc_id, positions in field_postings.get(term, {}).items():
+                merged.setdefault(doc_id, []).extend(positions)
+        return merged
+
+    def matching_docs(self, term: str, field: Optional[str] = None) -> Set[str]:
+        """Ids of documents containing ``term`` (optionally in ``field``)."""
+        if field is not None:
+            return set(self._postings.get(field, {}).get(term, {}))
+        matches: Set[str] = set()
+        for field_postings in self._postings.values():
+            matches.update(field_postings.get(term, {}))
+        return matches
+
+    def phrase_docs(
+        self, terms: List[str], field: Optional[str] = None
+    ) -> Set[str]:
+        """Documents containing ``terms`` consecutively in one field."""
+        if not terms:
+            return set()
+        fields = [field] if field is not None else list(self._postings)
+        matches: Set[str] = set()
+        for field_name in fields:
+            field_postings = self._postings.get(field_name, {})
+            candidate_docs: Optional[Set[str]] = None
+            for term in terms:
+                docs = set(field_postings.get(term, {}))
+                candidate_docs = (
+                    docs if candidate_docs is None else candidate_docs & docs
+                )
+                if not candidate_docs:
+                    break
+            if not candidate_docs:
+                continue
+            for doc_id in candidate_docs:
+                starts = set(field_postings[terms[0]][doc_id])
+                for offset, term in enumerate(terms[1:], start=1):
+                    positions = field_postings[term][doc_id]
+                    starts &= {p - offset for p in positions}
+                    if not starts:
+                        break
+                if starts:
+                    matches.add(doc_id)
+        return matches
+
+    # -- statistics ------------------------------------------------------------
+
+    def document_frequency(self, term: str, field: Optional[str] = None) -> int:
+        """Number of documents containing ``term``."""
+        return len(self.matching_docs(term, field))
+
+    def term_frequency(
+        self, term: str, doc_id: str, field: Optional[str] = None
+    ) -> int:
+        """Occurrences of ``term`` in ``doc_id`` (optionally per field)."""
+        if field is not None:
+            return len(
+                self._postings.get(field, {}).get(term, {}).get(doc_id, ())
+            )
+        return sum(
+            len(field_postings.get(term, {}).get(doc_id, ()))
+            for field_postings in self._postings.values()
+        )
+
+    def field_length(self, field: str, doc_id: str) -> int:
+        """Token count of ``field`` in ``doc_id`` (0 if absent)."""
+        return self._field_lengths.get(field, {}).get(doc_id, 0)
+
+    def total_length(self, doc_id: str) -> int:
+        """Token count across all fields of ``doc_id``."""
+        return sum(
+            lengths.get(doc_id, 0) for lengths in self._field_lengths.values()
+        )
+
+    def average_length(self, field: Optional[str] = None) -> float:
+        """Average field length (or average total document length)."""
+        if not self._documents:
+            return 0.0
+        if field is not None:
+            return (
+                self._field_token_totals.get(field, 0)
+                / len(self._documents)
+            )
+        return self._token_total / len(self._documents)
+
+    def vocabulary(self, field: Optional[str] = None) -> Set[str]:
+        """All distinct index terms (optionally restricted to a field)."""
+        if field is not None:
+            return set(self._postings.get(field, {}))
+        terms: Set[str] = set()
+        for field_postings in self._postings.values():
+            terms.update(field_postings)
+        return terms

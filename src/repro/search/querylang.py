@@ -1,0 +1,201 @@
+"""Keyword query language: terms, phrases, fields, AND/OR/NOT.
+
+Grammar (whitespace separated)::
+
+    query   := clause (OR clause)*
+    clause  := unit+                        # units are implicitly AND-ed
+    unit    := [-] [field:] (term | "phrase" | ( query ))
+
+Examples matching the paper's keyword-search episodes::
+
+    End User Services                 # all three terms must appear
+    EUS OR "Customer Services Center" OR "Distributed Computing Services"
+    Sam White ABC CSE                 # the query that returned nothing
+    title:"cross tower TSA" -template
+
+The parser produces a small AST; the engine interprets it.  Terms are
+kept as surface text here and analyzed (stemmed/stopped) by the engine
+so the query and the index always agree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import QuerySyntaxError
+
+__all__ = [
+    "Query",
+    "TermQuery",
+    "PhraseQuery",
+    "AndQuery",
+    "OrQuery",
+    "NotQuery",
+    "parse_query",
+]
+
+
+@dataclass(frozen=True)
+class TermQuery:
+    """Match documents containing one term (optionally in a field)."""
+
+    text: str
+    field: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PhraseQuery:
+    """Match documents containing the words consecutively in one field."""
+
+    text: str
+    field: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AndQuery:
+    """All sub-queries must match."""
+
+    clauses: Tuple["Query", ...]
+
+
+@dataclass(frozen=True)
+class OrQuery:
+    """At least one sub-query must match."""
+
+    clauses: Tuple["Query", ...]
+
+
+@dataclass(frozen=True)
+class NotQuery:
+    """Exclude documents matching the sub-query."""
+
+    clause: "Query"
+
+
+Query = Union[TermQuery, PhraseQuery, AndQuery, OrQuery, NotQuery]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<phrase>"[^"]*")
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<minus>-)
+  | (?P<word>[^\s()"-][^\s()"]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _lex(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} in query"
+            )
+        position = match.end()
+        kind = match.lastgroup or "word"
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group(0)))
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _lex(text)
+        self._pos = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse(self) -> Query:
+        query = self._parse_or()
+        if self._peek() is not None:
+            raise QuerySyntaxError("unexpected trailing input in query")
+        return query
+
+    def _parse_or(self) -> Query:
+        clauses = [self._parse_and()]
+        while True:
+            token = self._peek()
+            if token is not None and token[0] == "word" and token[1].upper() == "OR":
+                self._advance()
+                clauses.append(self._parse_and())
+            else:
+                break
+        if len(clauses) == 1:
+            return clauses[0]
+        return OrQuery(tuple(clauses))
+
+    def _parse_and(self) -> Query:
+        units: List[Query] = []
+        while True:
+            token = self._peek()
+            if token is None or token[0] == "rparen":
+                break
+            if token[0] == "word" and token[1].upper() == "OR":
+                break
+            if token[0] == "word" and token[1].upper() == "AND":
+                self._advance()  # explicit AND is a no-op
+                continue
+            units.append(self._parse_unit())
+        if not units:
+            raise QuerySyntaxError("empty query clause")
+        if len(units) == 1:
+            return units[0]
+        return AndQuery(tuple(units))
+
+    def _parse_unit(self) -> Query:
+        token = self._advance()
+        if token[0] == "minus":
+            return NotQuery(self._parse_unit())
+        if token[0] == "word" and token[1].upper() == "NOT":
+            return NotQuery(self._parse_unit())
+        if token[0] == "lparen":
+            inner = self._parse_or()
+            closing = self._peek()
+            if closing is None or closing[0] != "rparen":
+                raise QuerySyntaxError("missing ')' in query")
+            self._advance()
+            return inner
+        if token[0] == "phrase":
+            return PhraseQuery(token[1][1:-1])
+        if token[0] == "word":
+            return self._finish_word(token[1])
+        raise QuerySyntaxError(f"unexpected token {token[1]!r} in query")
+
+    def _finish_word(self, word: str) -> Query:
+        # field:term and field:"phrase" forms.
+        if ":" in word and not word.endswith(":"):
+            field, _, rest = word.partition(":")
+            if rest:
+                return TermQuery(rest, field=field.lower())
+        if word.endswith(":"):
+            field = word[:-1].lower()
+            token = self._peek()
+            if token is not None and token[0] == "phrase":
+                self._advance()
+                return PhraseQuery(token[1][1:-1], field=field)
+            raise QuerySyntaxError(f"field {field!r} has no value")
+        return TermQuery(word)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a keyword query string into a query AST."""
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty query")
+    return _QueryParser(text).parse()

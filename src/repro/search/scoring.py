@@ -1,0 +1,97 @@
+"""Relevance scoring: BM25 (default) and classic TF-IDF.
+
+Scores are computed per query term per document over the whole document
+(all fields merged), which matches how the paper's keyword baseline
+treats a workbook document as "a blob of text".  Field weighting is the
+engine's concern (it scores fields separately and sums with boosts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol
+
+from repro.search.inverted_index import InvertedIndex
+
+__all__ = ["Scorer", "Bm25Scorer", "TfidfScorer"]
+
+
+class Scorer(Protocol):
+    """Scoring interface: one (term, document) contribution at a time."""
+
+    def score(
+        self,
+        index: InvertedIndex,
+        term: str,
+        doc_id: str,
+        field: Optional[str] = None,
+        df: Optional[int] = None,
+    ) -> float:
+        """Contribution of ``term`` in ``doc_id`` (0 when absent).
+
+        ``df`` lets callers pass a precomputed document frequency; the
+        engine scores every matching document of a term in one sweep,
+        and recomputing df per document would be quadratic.
+        """
+        ...
+
+
+class Bm25Scorer:
+    """Okapi BM25 with the conventional defaults k1=1.2, b=0.75.
+
+    IDF uses the +1 smoothing from Robertson/Sparck-Jones so terms
+    present in most documents still contribute non-negatively.
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError("require k1 >= 0 and 0 <= b <= 1")
+        self.k1 = k1
+        self.b = b
+
+    def score(
+        self,
+        index: InvertedIndex,
+        term: str,
+        doc_id: str,
+        field: Optional[str] = None,
+        df: Optional[int] = None,
+    ) -> float:
+        tf = index.term_frequency(term, doc_id, field)
+        if tf == 0:
+            return 0.0
+        if df is None:
+            df = index.document_frequency(term, field)
+        total = len(index)
+        idf = math.log(1.0 + (total - df + 0.5) / (df + 0.5))
+        if field is not None:
+            length = index.field_length(field, doc_id)
+            average = index.average_length(field)
+        else:
+            length = index.total_length(doc_id)
+            average = index.average_length()
+        if average == 0:
+            return 0.0
+        norm = self.k1 * (1 - self.b + self.b * length / average)
+        return idf * tf * (self.k1 + 1) / (tf + norm)
+
+
+class TfidfScorer:
+    """log-scaled TF x smoothed IDF, the classic vector-space weight."""
+
+    def score(
+        self,
+        index: InvertedIndex,
+        term: str,
+        doc_id: str,
+        field: Optional[str] = None,
+        df: Optional[int] = None,
+    ) -> float:
+        tf = index.term_frequency(term, doc_id, field)
+        if tf == 0:
+            return 0.0
+        if df is None:
+            df = index.document_frequency(term, field)
+        total = len(index)
+        idf = math.log((1 + total) / (1 + df)) + 1.0
+        return (1.0 + math.log(tf)) * idf

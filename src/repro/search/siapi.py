@@ -1,0 +1,182 @@
+"""SIAPI (Search and Index API) facade over the search engine.
+
+This mirrors the role OmniFind's SIAPI plays in the paper: the EIL query
+analyzer builds a :class:`SiapiQuery` from the form fields ("all of these
+words", "the exact phrase", ...; see paper Fig. 8), and executes it
+either unscoped or *scoped to a set of business activities* — the
+activities returned by the synopsis query (paper Fig. 1 steps 7-8).
+
+Activity-level relevance follows Section 3: per-document scores are
+normalized by the best score in the result set, then averaged per
+activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.search.document import SearchHit
+from repro.search.engine import SearchEngine
+from repro.search.querylang import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    Query,
+    TermQuery,
+    parse_query,
+)
+
+__all__ = ["SiapiQuery", "ActivityHits", "SiapiService"]
+
+
+@dataclass(frozen=True)
+class SiapiQuery:
+    """A form-shaped keyword query (paper Fig. 8, "with this text").
+
+    Attributes:
+        all_words: Every word must appear.
+        exact_phrase: Must appear consecutively.
+        any_words: At least one must appear.
+        none_words: None may appear.
+        search_field: Restrict to one indexed field (None = anywhere).
+        raw: Free-form query string in the engine grammar; combined
+            conjunctively with the structured parts when present.
+    """
+
+    all_words: str = ""
+    exact_phrase: str = ""
+    any_words: str = ""
+    none_words: str = ""
+    search_field: Optional[str] = None
+    raw: str = ""
+
+    def is_empty(self) -> bool:
+        """True when no text criteria were entered."""
+        return not any(
+            (self.all_words.strip(), self.exact_phrase.strip(),
+             self.any_words.strip(), self.none_words.strip(),
+             self.raw.strip())
+        )
+
+    def to_query(self) -> Query:
+        """Compile the form fields into a query AST."""
+        clauses: List[Query] = []
+        for word in self.all_words.split():
+            clauses.append(TermQuery(word, self.search_field))
+        if self.exact_phrase.strip():
+            clauses.append(
+                PhraseQuery(self.exact_phrase.strip(), self.search_field)
+            )
+        any_terms = [
+            TermQuery(word, self.search_field)
+            for word in self.any_words.split()
+        ]
+        if any_terms:
+            clauses.append(
+                any_terms[0] if len(any_terms) == 1
+                else OrQuery(tuple(any_terms))
+            )
+        for word in self.none_words.split():
+            clauses.append(NotQuery(TermQuery(word, self.search_field)))
+        if self.raw.strip():
+            clauses.append(parse_query(self.raw))
+        if not clauses:
+            raise QuerySyntaxError("empty SIAPI query")
+        if len(clauses) == 1:
+            return clauses[0]
+        return AndQuery(tuple(clauses))
+
+
+@dataclass
+class ActivityHits:
+    """All hits of one business activity, with its combined relevance.
+
+    Attributes:
+        activity_id: The business activity (deal) identifier.
+        score: Average normalized document score, in [0, 1].
+        hits: The activity's document hits, best first.
+    """
+
+    activity_id: str
+    score: float
+    hits: List[SearchHit] = field(default_factory=list)
+
+
+class SiapiService:
+    """Executes SIAPI queries, optionally scoped to activities.
+
+    Args:
+        engine: The underlying search engine.
+        activity_key: Metadata key holding each document's business
+            activity id.
+    """
+
+    def __init__(self, engine: SearchEngine, activity_key: str = "deal_id"):
+        self.engine = engine
+        self.activity_key = activity_key
+
+    def search(
+        self,
+        query: SiapiQuery,
+        scope: Optional[Set[str]] = None,
+        limit: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """Ranked document hits; ``scope`` restricts to those activities."""
+        doc_filter = None
+        if scope is not None:
+            scoped = set(scope)
+            doc_filter = (
+                lambda document: document.metadata.get(self.activity_key)
+                in scoped
+            )
+        return self.engine.search(query.to_query(), limit, doc_filter)
+
+    def count(self, query: SiapiQuery, scope: Optional[Set[str]] = None) -> int:
+        """Number of matching documents (the paper's "N documents")."""
+        doc_filter = None
+        if scope is not None:
+            scoped = set(scope)
+            doc_filter = (
+                lambda document: document.metadata.get(self.activity_key)
+                in scoped
+            )
+        return self.engine.count(query.to_query(), doc_filter)
+
+    def search_grouped(
+        self,
+        query: SiapiQuery,
+        scope: Optional[Set[str]] = None,
+        per_activity_limit: Optional[int] = None,
+    ) -> List[ActivityHits]:
+        """Hits grouped by business activity with normalized scores.
+
+        Per Section 3 of the paper: document scores are normalized by
+        the maximum in the result set, then averaged within each
+        activity; activities sort by that average.
+        """
+        hits = self.search(query, scope)
+        if not hits:
+            return []
+        best = max(hit.score for hit in hits) or 1.0
+        grouped: Dict[str, List[Tuple[float, SearchHit]]] = {}
+        for hit in hits:
+            activity = hit.metadata.get(self.activity_key)
+            if activity is None:
+                continue
+            grouped.setdefault(activity, []).append((hit.score / best, hit))
+        results = []
+        for activity_id, scored in grouped.items():
+            scored.sort(key=lambda pair: (-pair[0], pair[1].doc_id))
+            trimmed = scored[:per_activity_limit] if per_activity_limit else scored
+            results.append(
+                ActivityHits(
+                    activity_id=activity_id,
+                    score=sum(s for s, _ in scored) / len(scored),
+                    hits=[hit for _, hit in trimmed],
+                )
+            )
+        results.sort(key=lambda a: (-a.score, a.activity_id))
+        return results

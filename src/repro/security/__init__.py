@@ -1,0 +1,5 @@
+"""Access control for EIL: principals, repository ACLs, synopsis fallback."""
+
+from repro.security.access import ANONYMOUS, AccessController, User
+
+__all__ = ["User", "AccessController", "ANONYMOUS"]

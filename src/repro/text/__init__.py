@@ -1,0 +1,51 @@
+"""Text-processing substrate: tokenization, stemming, normalization.
+
+These primitives are shared by the search engine (the OmniFind
+substitute) and the annotators.  Everything is pure Python and
+deterministic.
+"""
+
+from repro.text.normalize import (
+    ROLE_SYNONYMS,
+    name_key,
+    normalize_email,
+    normalize_person_name,
+    normalize_phone,
+    normalize_role,
+    normalize_whitespace,
+    person_from_email,
+)
+from repro.text.similarity import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    token_set_ratio,
+)
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenizer import Token, Tokenizer, split_sentences, tokenize
+
+__all__ = [
+    "ROLE_SYNONYMS",
+    "name_key",
+    "normalize_email",
+    "normalize_person_name",
+    "normalize_phone",
+    "normalize_role",
+    "normalize_whitespace",
+    "person_from_email",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_ratio",
+    "token_set_ratio",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "Token",
+    "Tokenizer",
+    "split_sentences",
+    "tokenize",
+]

@@ -1,0 +1,170 @@
+"""Field normalization used by annotators and collection processing.
+
+The paper's Fig. 3 (step 12) calls for "normalizing the fields to remove
+semantic ambiguity": the same person appears as ``Sam White``,
+``White, Sam`` and ``sam.white@abc.com``; the same role appears as
+``CSE``, ``Client Solution Exec.`` and ``client solution executive``;
+phone numbers arrive in a half dozen layouts.  These helpers produce
+canonical forms so that de-duplication and the structured synopsis
+queries work on stable keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "normalize_whitespace",
+    "normalize_person_name",
+    "name_key",
+    "normalize_phone",
+    "normalize_email",
+    "normalize_role",
+    "person_from_email",
+    "ROLE_SYNONYMS",
+]
+
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip ends."""
+    return _WS_RE.sub(" ", text).strip()
+
+
+def normalize_person_name(name: str) -> str:
+    """Canonicalize a person name to ``First Last`` title case.
+
+    Handles ``Last, First`` order, stray honorifics, and inconsistent
+    casing.  Middle names/initials are preserved in order.
+    """
+    name = normalize_whitespace(name)
+    if "," in name:
+        last, _, first = name.partition(",")
+        name = f"{first.strip()} {last.strip()}"
+    words = [w for w in name.split() if w]
+    honorifics = {"mr", "mr.", "mrs", "mrs.", "ms", "ms.", "dr", "dr."}
+    words = [w for w in words if w.lower() not in honorifics]
+    return " ".join(_title_word(w) for w in words)
+
+
+def _title_word(word: str) -> str:
+    # Preserve initials like "J." and hyphenated surnames.
+    if "-" in word:
+        return "-".join(_title_word(part) for part in word.split("-"))
+    if not word:
+        return word
+    return word[0].upper() + word[1:].lower()
+
+
+def name_key(name: str) -> str:
+    """Return a case/order-insensitive de-duplication key for a name.
+
+    ``White, Sam`` and ``sam white`` share the key ``sam white``.
+    """
+    canonical = normalize_person_name(name)
+    return " ".join(sorted(w.lower().rstrip(".") for w in canonical.split()))
+
+
+_PHONE_DIGITS_RE = re.compile(r"\d")
+
+
+def normalize_phone(phone: str) -> Optional[str]:
+    """Normalize a phone number to ``+1-AAA-EEE-NNNN`` when possible.
+
+    Returns None if the string does not contain a plausible number of
+    digits (7-15 after stripping formatting), which lets callers reject
+    noise matched by over-eager patterns.
+    """
+    digits = "".join(_PHONE_DIGITS_RE.findall(phone))
+    if not 7 <= len(digits) <= 15:
+        return None
+    if len(digits) == 10:
+        digits = "1" + digits
+    if len(digits) == 11 and digits.startswith("1"):
+        return f"+1-{digits[1:4]}-{digits[4:7]}-{digits[7:]}"
+    return "+" + digits
+
+
+def normalize_email(email: str) -> str:
+    """Lower-case an email address and strip surrounding punctuation."""
+    return email.strip().strip("<>().,;:").lower()
+
+
+# Canonical role names keyed by the variants observed in business
+# documents.  The canonical names double as the People-tab categories in
+# the synopsis (core deal team, technical support, delivery, client, ...).
+ROLE_SYNONYMS: Dict[str, str] = {
+    "cse": "Client Solution Executive",
+    "client solution exec": "Client Solution Executive",
+    "client solution exec.": "Client Solution Executive",
+    "client solution executive": "Client Solution Executive",
+    "tsa": "Technical Solution Architect",
+    "tech solution architect": "Technical Solution Architect",
+    "technical solution architect": "Technical Solution Architect",
+    "cross tower tsa": "Cross Tower Technical Solution Architect",
+    "cross-tower tsa": "Cross Tower Technical Solution Architect",
+    "cross tower technical solution architect":
+        "Cross Tower Technical Solution Architect",
+    "lead tsa": "Technical Solution Architect",
+    "mainframe tsa": "Technical Solution Architect",
+    "dpe": "Delivery Project Executive",
+    "delivery project exec": "Delivery Project Executive",
+    "delivery project executive": "Delivery Project Executive",
+    "pe": "Project Executive",
+    "project executive": "Project Executive",
+    "sales leader": "Sales Leader",
+    "sales lead": "Sales Leader",
+    "engagement manager": "Engagement Manager",
+    "em": "Engagement Manager",
+    "pricer": "Pricer",
+    "financial analyst": "Financial Analyst",
+    "contracts lead": "Contracts Lead",
+    "contract lead": "Contracts Lead",
+    "legal counsel": "Legal Counsel",
+    "transition manager": "Transition Manager",
+    "client executive": "Client Executive",
+    "ce": "Client Executive",
+    "hr lead": "HR Lead",
+    "third party consultant": "Third Party Consultant",
+    "tpc": "Third Party Consultant",
+    "sourcing consultant": "Third Party Consultant",
+}
+
+
+def normalize_role(role: str) -> str:
+    """Map a role surface form onto its canonical name.
+
+    Unknown roles are returned in title case so they still group
+    consistently in the People tab.
+    """
+    cleaned = normalize_whitespace(role).rstrip(".").lower()
+    canonical = ROLE_SYNONYMS.get(cleaned)
+    if canonical is not None:
+        return canonical
+    return " ".join(_title_word(w) for w in cleaned.split())
+
+
+_EMAIL_LOCAL_RE = re.compile(r"^([a-z]+)[._]([a-z]+)\d*$")
+
+
+def person_from_email(email: str) -> Optional[Tuple[str, str]]:
+    """Infer ``(full name, organization)`` from a corporate email address.
+
+    Implements the inference in paper Fig. 3 step 6: addresses following
+    the ``firstname.lastname@organization.com`` convention yield both a
+    person name and an organization.  Returns None when the local part
+    does not follow the convention (e.g. ``jsmith42@...``).
+    """
+    email = normalize_email(email)
+    local, _, domain = email.partition("@")
+    if not domain:
+        return None
+    match = _EMAIL_LOCAL_RE.match(local)
+    if not match:
+        return None
+    first, last = match.groups()
+    org = domain.split(".")[0]
+    name = f"{_title_word(first)} {_title_word(last)}"
+    return name, org.upper() if len(org) <= 4 else _title_word(org)

@@ -1,0 +1,114 @@
+"""Tokenization with character offsets.
+
+EIL's annotators need to map extracted entities back to the exact span in
+the source document (the UIMA CAS stores begin/end offsets), so the
+tokenizer records offsets for every token rather than returning bare
+strings.  The token model deliberately stays simple: words (letters and
+digits, with embedded apostrophes/periods handled for abbreviations and
+possessives), plus optional punctuation tokens for consumers that need
+them (e.g. the email-address regex annotator works on raw text instead).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+__all__ = ["Token", "Tokenizer", "tokenize", "split_sentences"]
+
+# A word is a run of alphanumerics that may contain internal apostrophes
+# (don't), ampersands (AT&T) or periods between single letters (U.S.A.).
+_WORD_RE = re.compile(
+    r"""
+    [A-Za-z0-9]+                 # leading alphanumeric run
+    (?:['&.][A-Za-z0-9]+)*       # internal joiners: don't, AT&T, U.S.A
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'(])")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its character span in the source text.
+
+    Attributes:
+        text: The exact surface form as it appears in the document.
+        start: Offset of the first character (inclusive).
+        end: Offset one past the last character (exclusive).
+    """
+
+    text: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid token span [{self.start}, {self.end})")
+
+    @property
+    def lower(self) -> str:
+        """Case-folded surface form."""
+        return self.text.lower()
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class Tokenizer:
+    """Offset-preserving word tokenizer.
+
+    Args:
+        lowercase: If true, token text is case-folded (offsets still refer
+            to the original text).
+        min_length: Tokens shorter than this are dropped.
+    """
+
+    def __init__(self, lowercase: bool = False, min_length: int = 1) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        self.lowercase = lowercase
+        self.min_length = min_length
+
+    def tokenize(self, text: str) -> List[Token]:
+        """Tokenize ``text`` into a list of :class:`Token`."""
+        return list(self.iter_tokens(text))
+
+    def iter_tokens(self, text: str) -> Iterator[Token]:
+        """Lazily yield tokens from ``text`` in document order."""
+        for match in _WORD_RE.finditer(text):
+            surface = match.group(0)
+            if len(surface) < self.min_length:
+                continue
+            if self.lowercase:
+                surface = surface.lower()
+            yield Token(surface, match.start(), match.end())
+
+
+_DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize with the default (case-preserving) tokenizer."""
+    return _DEFAULT_TOKENIZER.tokenize(text)
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    This is a lightweight rule-based splitter: it breaks after ``.``,
+    ``!`` or ``?`` followed by whitespace and an upper-case/“quote” start.
+    Newlines that separate paragraphs also act as boundaries, which suits
+    the slide/cell-oriented documents in engagement workbooks where most
+    "sentences" are short fragments.
+    """
+    sentences: List[str] = []
+    for block in re.split(r"\n\s*\n|\r\n\s*\r\n", text):
+        block = block.strip()
+        if not block:
+            continue
+        parts: Sequence[str] = _SENTENCE_BOUNDARY_RE.split(block)
+        sentences.extend(p.strip() for p in parts if p.strip())
+    return sentences

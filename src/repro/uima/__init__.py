@@ -1,0 +1,31 @@
+"""Annotation framework (the paper's UIMA substitute).
+
+Core concepts mirror UIMA: a :class:`TypeSystem` registers annotation
+types; a :class:`Cas` holds one document's text, metadata and typed
+annotations; :class:`AnalysisEngine` subclasses (annotators) add
+annotations; :class:`AggregateAnalysisEngine` composes them; and a
+:class:`CollectionProcessingEngine` drives whole collections and feeds
+:class:`CasConsumer` components that aggregate across documents.
+"""
+
+from repro.uima.cas import Annotation, Cas
+from repro.uima.cpe import CasConsumer, CollectionProcessingEngine, CpeReport
+from repro.uima.engine import (
+    AggregateAnalysisEngine,
+    AnalysisEngine,
+    EngineResult,
+)
+from repro.uima.typesystem import AnnotationType, TypeSystem
+
+__all__ = [
+    "Annotation",
+    "Cas",
+    "TypeSystem",
+    "AnnotationType",
+    "AnalysisEngine",
+    "AggregateAnalysisEngine",
+    "EngineResult",
+    "CasConsumer",
+    "CollectionProcessingEngine",
+    "CpeReport",
+]

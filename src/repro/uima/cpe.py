@@ -1,0 +1,95 @@
+"""Collection Processing Engines (paper Section 3.4).
+
+A CPE drives a whole collection through an analysis engine and then
+hands the per-document results to *CAS consumers* — collection-level
+components that aggregate across documents: counting scope occurrences
+per business activity, de-duplicating contacts, normalizing fields.
+Consumers receive each processed CAS and a final
+``collection_process_complete`` callback where cross-document reasoning
+happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+from repro.errors import AnnotatorError
+from repro.uima.cas import Cas
+from repro.uima.engine import AnalysisEngine
+
+__all__ = ["CasConsumer", "CpeReport", "CollectionProcessingEngine"]
+
+
+class CasConsumer:
+    """Collection-level aggregation component."""
+
+    name: str = "consumer"
+
+    def process_cas(self, cas: Cas) -> None:
+        """Observe one analyzed CAS (default: no-op)."""
+
+    def collection_process_complete(self) -> Any:
+        """Finish cross-document reasoning; return the consumer's result."""
+        return None
+
+
+@dataclass
+class CpeReport:
+    """Outcome of one CPE run.
+
+    Attributes:
+        documents_processed: CASes successfully analyzed.
+        documents_failed: CASes whose analysis raised.
+        failures: Error strings for each failed document.
+        consumer_results: ``collection_process_complete`` return values,
+            keyed by consumer name.
+    """
+
+    documents_processed: int = 0
+    documents_failed: int = 0
+    failures: List[str] = field(default_factory=list)
+    consumer_results: dict = field(default_factory=dict)
+
+
+class CollectionProcessingEngine:
+    """Run ``engine`` over a CAS collection, then finish the consumers.
+
+    Args:
+        engine: Document-level analysis (usually an aggregate).
+        consumers: Collection-level components, run per CAS in order.
+        continue_on_error: When True (the default, matching a nightly
+            batch pipeline), per-document analysis failures are recorded
+            and the run continues; when False the first failure raises.
+    """
+
+    def __init__(
+        self,
+        engine: AnalysisEngine,
+        consumers: Sequence[CasConsumer] = (),
+        continue_on_error: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.consumers = list(consumers)
+        self.continue_on_error = continue_on_error
+
+    def run(self, collection: Iterable[Cas]) -> CpeReport:
+        """Process every CAS; returns the collection-level report."""
+        report = CpeReport()
+        for cas in collection:
+            try:
+                self.engine.run(cas)
+            except AnnotatorError as exc:
+                report.documents_failed += 1
+                report.failures.append(str(exc))
+                if not self.continue_on_error:
+                    raise
+                continue
+            report.documents_processed += 1
+            for consumer in self.consumers:
+                consumer.process_cas(cas)
+        for consumer in self.consumers:
+            report.consumer_results[consumer.name] = (
+                consumer.collection_process_complete()
+            )
+        return report

@@ -1,0 +1,129 @@
+"""Analysis engines: the units annotators are packaged as.
+
+An :class:`AnalysisEngine` processes one CAS at a time.  An
+:class:`AggregateAnalysisEngine` runs a fixed sequence of delegates —
+the "composite annotator" row of the paper's Table 1 — optionally with
+per-delegate flow control (skip predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnnotatorError
+from repro.uima.cas import Cas
+from repro.uima.typesystem import TypeSystem
+
+__all__ = ["AnalysisEngine", "AggregateAnalysisEngine", "EngineResult"]
+
+
+@dataclass
+class EngineResult:
+    """Per-engine outcome bookkeeping (used by CPE reports).
+
+    Attributes:
+        engine_name: The engine that ran.
+        annotations_added: Count of annotations the engine created.
+        skipped: True when flow control skipped the engine.
+    """
+
+    engine_name: str
+    annotations_added: int = 0
+    skipped: bool = False
+
+
+class AnalysisEngine:
+    """Base class for all annotators.
+
+    Subclasses implement :meth:`process`; :meth:`initialize_types` is
+    called once to declare output types in the shared type system
+    (idempotent registration is the subclass's responsibility — use
+    ``name in type_system`` guards).
+    """
+
+    name: str = "engine"
+
+    def initialize_types(self, type_system: TypeSystem) -> None:
+        """Declare output annotation types (default: none)."""
+
+    def process(self, cas: Cas) -> None:
+        """Analyze one CAS, adding annotations in place."""
+        raise NotImplementedError
+
+    def run(self, cas: Cas) -> EngineResult:
+        """Process with bookkeeping; wraps errors with the engine name."""
+        before = len(cas)
+        try:
+            self.process(cas)
+        except AnnotatorError:
+            raise
+        except Exception as exc:
+            raise AnnotatorError(
+                f"engine {self.name!r} failed: {exc}"
+            ) from exc
+        return EngineResult(self.name, annotations_added=len(cas) - before)
+
+
+FlowPredicate = Callable[[Cas], bool]
+
+
+class AggregateAnalysisEngine(AnalysisEngine):
+    """Run a sequence of delegate engines against each CAS.
+
+    Args:
+        name: Aggregate's display name.
+        delegates: Engines in execution order.  Each entry is either an
+            engine or an ``(engine, predicate)`` pair — the predicate
+            decides per-CAS whether the delegate runs, which is how EIL
+            restricts expensive annotators to candidate documents
+            (paper Fig. 3, steps 1-2).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        delegates: Sequence[object],
+    ) -> None:
+        self.name = name
+        self._delegates: List[Tuple[AnalysisEngine, Optional[FlowPredicate]]] = []
+        for delegate in delegates:
+            if isinstance(delegate, AnalysisEngine):
+                self._delegates.append((delegate, None))
+            elif (
+                isinstance(delegate, tuple)
+                and len(delegate) == 2
+                and isinstance(delegate[0], AnalysisEngine)
+            ):
+                self._delegates.append((delegate[0], delegate[1]))
+            else:
+                raise AnnotatorError(
+                    f"invalid delegate {delegate!r} in aggregate {name!r}"
+                )
+        if not self._delegates:
+            raise AnnotatorError(f"aggregate {name!r} has no delegates")
+
+    @property
+    def delegates(self) -> List[AnalysisEngine]:
+        """The delegate engines, in order."""
+        return [engine for engine, _ in self._delegates]
+
+    def initialize_types(self, type_system: TypeSystem) -> None:
+        for engine, _ in self._delegates:
+            engine.initialize_types(type_system)
+
+    def process(self, cas: Cas) -> None:
+        for engine, predicate in self._delegates:
+            if predicate is not None and not predicate(cas):
+                continue
+            engine.run(cas)
+
+    def run_detailed(self, cas: Cas) -> List[EngineResult]:
+        """Like :meth:`process` but reporting per-delegate results."""
+        results = []
+        for engine, predicate in self._delegates:
+            if predicate is not None and not predicate(cas):
+                results.append(EngineResult(engine.name, skipped=True))
+                continue
+            results.append(engine.run(cas))
+        return results

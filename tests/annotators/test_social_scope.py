@@ -1,0 +1,296 @@
+"""Unit tests for the social-networking annotator and scope CPE."""
+
+import pytest
+
+from repro.annotators import (
+    ContactRecord,
+    ContactRollup,
+    ScopeAggregator,
+    SocialNetworkingAnnotator,
+    candidate_document,
+    register_eil_types,
+    scope_candidate_document,
+)
+from repro.annotators.ontology import OntologyServiceAnnotator
+from repro.corpus import Person, build_default_taxonomy
+from repro.docmodel import (
+    DocumentParser,
+    EmailMessage,
+    FormDocument,
+    Presentation,
+    Sheet,
+    Slide,
+    Spreadsheet,
+    TextDocument,
+)
+from repro.intranet import PersonnelDirectory
+from repro.uima import CollectionProcessingEngine, TypeSystem
+
+
+@pytest.fixture
+def parser():
+    return DocumentParser(register_eil_types(TypeSystem()))
+
+
+def roster_doc(rows, deal="d1"):
+    return Spreadsheet(
+        doc_id=f"{deal}/roster", title="Deal Team Roster", deal_id=deal,
+        sheets=(Sheet("Team", ("Name", "Role", "Email", "Phone",
+                               "Organization"), tuple(rows)),),
+    )
+
+
+class TestCandidateSelection:
+    def test_rosters_forms_emails_are_candidates(self, parser):
+        doc = roster_doc([])
+        assert candidate_document(parser.to_cas(doc))
+
+    def test_appendix_excluded(self, parser):
+        doc = TextDocument(
+            doc_id="x", title="DEAL A Appendix 3", deal_id="d1",
+            sections=(("Appendix", "service catalog"),),
+        )
+        assert not candidate_document(parser.to_cas(doc))
+
+
+class TestRosterExtraction:
+    def test_full_row(self, parser):
+        cas = parser.to_cas(roster_doc(
+            [("Sam White", "CSE", "sam.white@abc.com",
+              "(914) 555-0143", "ABC")]
+        ))
+        SocialNetworkingAnnotator().run(cas)
+        person = cas.select("eil.Person")[0]
+        assert person["name"] == "Sam White"
+        assert person["role"] == "Client Solution Executive"
+        assert person["email"] == "sam.white@abc.com"
+        assert person["phone"] == "+1-914-555-0143"
+        assert person["organization"] == "ABC"
+
+    def test_reversed_name_normalized(self, parser):
+        cas = parser.to_cas(roster_doc(
+            [("White, Sam", "CSE", "", "", "ABC")]
+        ))
+        SocialNetworkingAnnotator().run(cas)
+        assert cas.select("eil.Person")[0]["name"] == "Sam White"
+
+    def test_org_inferred_from_email(self, parser):
+        # Fig. 3 step 6: firstname.lastname@org.com fills the blank org.
+        cas = parser.to_cas(roster_doc(
+            [("Sam White", "CSE", "sam.white@abc.com", "", "")]
+        ))
+        SocialNetworkingAnnotator().run(cas)
+        assert cas.select("eil.Person")[0]["organization"] == "ABC"
+
+    def test_empty_name_row_skipped(self, parser):
+        cas = parser.to_cas(roster_doc([("", "CSE", "", "", "")]))
+        SocialNetworkingAnnotator().run(cas)
+        assert cas.select("eil.Person") == []
+
+
+class TestFormExtraction:
+    def test_named_tsa_field(self, parser):
+        form = FormDocument(
+            doc_id="f", title="Service Details", deal_id="d1",
+            form_name="Service Delivery Record",
+            fields=(("Tower", "WAN"), ("Cross Tower TSA", "Jane Doe"),
+                    ("Mainframe TSA", "")),
+        )
+        cas = parser.to_cas(form)
+        SocialNetworkingAnnotator().run(cas)
+        people = cas.select("eil.Person")
+        assert len(people) == 1
+        assert people[0]["name"] == "Jane Doe"
+        assert people[0]["role"] == (
+            "Cross Tower Technical Solution Architect"
+        )
+
+    def test_empty_fields_produce_nothing(self, parser):
+        form = FormDocument(
+            doc_id="f", title="Service Details", deal_id="d1",
+            form_name="r",
+            fields=(("Cross Tower TSA", ""), ("Lead TSA", "")),
+        )
+        cas = parser.to_cas(form)
+        SocialNetworkingAnnotator().run(cas)
+        assert cas.select("eil.Person") == []
+
+
+class TestEmailExtraction:
+    def test_sender_and_recipients(self, parser):
+        email = EmailMessage(
+            doc_id="e", title="t", deal_id="d1",
+            sender="jane.doe@vantagegs.com",
+            recipients=("sam.white@abc.com", "sales-dl@vantagegs.com"),
+            subject="s", body="b",
+        )
+        cas = parser.to_cas(email)
+        SocialNetworkingAnnotator().run(cas)
+        people = cas.select("eil.Person")
+        names = {p.get("name") for p in people}
+        assert "Jane Doe" in names and "Sam White" in names
+        # The distribution list itself is not a person.
+        assert all(
+            p.get("email") != "sales-dl@vantagegs.com" for p in people
+        )
+
+
+class TestContactRollup:
+    def run_rollup(self, parser, docs, directory=None):
+        annotator = SocialNetworkingAnnotator()
+        rollup = ContactRollup(directory)
+        cpe = CollectionProcessingEngine(annotator, [rollup])
+        report = cpe.run(parser.to_cas(d) for d in docs)
+        return report.consumer_results["contact-rollup"]
+
+    def test_deduplicates_name_variants(self, parser):
+        docs = [roster_doc([
+            ("Sam White", "CSE", "sam.white@abc.com", "", "ABC"),
+            ("White, Sam", "CSE", "sam.white@abc.com",
+             "(914) 555-0000", "ABC"),
+        ])]
+        contacts = self.run_rollup(parser, docs)["d1"]
+        assert len(contacts) == 1
+        assert contacts[0].mention_count == 2
+        assert contacts[0].phone  # merged from the second row
+
+    def test_separate_deals_not_merged(self, parser):
+        docs = [
+            roster_doc([("Sam White", "CSE", "s@abc.com", "", "")], "d1"),
+            roster_doc([("Sam White", "CSE", "s@abc.com", "", "")], "d2"),
+        ]
+        by_deal = self.run_rollup(parser, docs)
+        assert set(by_deal) == {"d1", "d2"}
+
+    def test_directory_validation_updates_fields(self, parser):
+        directory = PersonnelDirectory()
+        directory.add_person(
+            Person("Sam", "White", "ABC Corporation",
+                   "sam.white@abc.com", "+1-914-555-7777")
+        )
+        docs = [roster_doc([
+            ("Sam White", "CSE", "sam.white@abc.com", "(914) 555-0001", "")
+        ])]
+        contacts = self.run_rollup(parser, docs, directory)["d1"]
+        assert contacts[0].validated is True
+        # Directory phone is authoritative (Fig. 3 step 13 "update").
+        assert contacts[0].phone == "+1-914-555-7777"
+        assert contacts[0].organization == "ABC Corporation"
+
+    def test_inactive_person_flagged(self, parser):
+        directory = PersonnelDirectory()
+        directory.add_person(
+            Person("Sam", "White", "ABC", "sam.white@abc.com", "x"),
+            active=False,
+        )
+        docs = [roster_doc([("Sam White", "CSE", "sam.white@abc.com",
+                             "", "")])]
+        contacts = self.run_rollup(parser, docs, directory)["d1"]
+        assert contacts[0].active is False
+
+    def test_category_derived_from_role(self, parser):
+        docs = [roster_doc([
+            ("A B", "CSE", "a.b@x.com", "", ""),
+            ("C D", "TSA", "c.d@x.com", "", ""),
+            ("E F", "DPE", "e.f@x.com", "", ""),
+        ])]
+        contacts = self.run_rollup(parser, docs)["d1"]
+        categories = {c.name: c.category for c in contacts}
+        assert categories["A B"] == "core deal team"
+        assert categories["C D"] == "technical support team"
+        assert categories["E F"] == "delivery team"
+
+
+class TestScopeAggregation:
+    def scope_deck(self, deal, scoped, options=()):
+        slides = [
+            Slide(f"Scope: {s}",
+                  bullets=(f"{s} is included in the services scope",
+                           f"{s} is included in the services scope"))
+            for s in scoped
+        ]
+        if options:
+            slides.append(Slide(
+                "Phase 2 Options",
+                bullets=tuple(
+                    f"{o} is under evaluation for inclusion in the "
+                    "services scope" for o in options
+                ),
+            ))
+        return Presentation(
+            doc_id=f"{deal}/scope", title="Scope Overview", deal_id=deal,
+            slides=tuple(slides),
+        )
+
+    def run_scope(self, parser, docs, min_weight=4.0):
+        taxonomy = build_default_taxonomy()
+        annotator = OntologyServiceAnnotator(taxonomy)
+        aggregator = ScopeAggregator(min_weight=min_weight)
+        cpe = CollectionProcessingEngine(annotator, [aggregator])
+        report = cpe.run(parser.to_cas(d) for d in docs)
+        return report.consumer_results["scope-aggregator"]
+
+    def test_scoped_services_detected(self, parser):
+        docs = [self.scope_deck("d1", ["Storage Management Services",
+                                       "WAN"])]
+        scopes = self.run_scope(parser, docs)
+        names = [e.canonical for e in scopes["d1"]]
+        assert set(names) == {"Storage Management Services", "WAN"}
+
+    def test_significance_ordering(self, parser):
+        deck = Presentation(
+            doc_id="d1/scope", title="Scope", deal_id="d1",
+            slides=(
+                Slide("Scope: WAN",
+                      bullets=tuple(
+                          "WAN is included in the services scope"
+                          for _ in range(4))),
+                Slide("Scope: LAN",
+                      bullets=("LAN is included in the services scope",
+                               "LAN is included in the services scope")),
+            ),
+        )
+        scopes = self.run_scope(parser, [deck])
+        assert [e.canonical for e in scopes["d1"]] == ["WAN", "LAN"]
+
+    def test_minutes_are_not_scope_evidence(self, parser):
+        minutes = TextDocument(
+            doc_id="d1/min", title="Meeting Minutes", deal_id="d1",
+            sections=(("Minutes",
+                       "WAN is included in the services scope " * 5),),
+        )
+        scopes = self.run_scope(parser, [minutes])
+        assert scopes == {}
+
+    def test_weak_mentions_below_threshold(self, parser):
+        deck = Presentation(
+            doc_id="d1/scope", title="Scope", deal_id="d1",
+            slides=(Slide("Additional Considerations",
+                          bullets=("Also covering WAN operations",)),),
+        )
+        scopes = self.run_scope(parser, [deck])
+        assert "d1" not in scopes or not any(
+            e.canonical == "WAN" for e in scopes["d1"]
+        )
+
+    def test_phase2_options_are_false_positives(self, parser):
+        # Documents the known, bounded EIL error mode.
+        docs = [self.scope_deck("d1", ["WAN"], options=["Groupware",
+                                                        "Groupware"])]
+        scopes = self.run_scope(parser, docs)
+        names = {e.canonical for e in scopes["d1"]}
+        assert "Groupware" in names
+
+    def test_candidate_predicate(self, parser):
+        deck = self.scope_deck("d1", ["WAN"])
+        assert scope_candidate_document(parser.to_cas(deck))
+        tech = TextDocument(
+            doc_id="t", title="DEAL A Technology Solution: WAN",
+            deal_id="d1", sections=(("x", "y"),),
+        )
+        assert scope_candidate_document(parser.to_cas(tech))
+        minutes = TextDocument(
+            doc_id="m", title="Minutes", deal_id="d1",
+            sections=(("x", "y"),),
+        )
+        assert not scope_candidate_document(parser.to_cas(minutes))

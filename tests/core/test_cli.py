@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--deals", "3", "--docs", "15"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_flags(self):
+        args = build_parser().parse_args(
+            ["search", "--tower", "WAN", "--limit", "3"]
+        )
+        assert args.command == "search"
+        assert args.tower == "WAN"
+        assert args.limit == 3
+
+    def test_global_flags(self):
+        args = build_parser().parse_args(
+            ["--seed", "7", "--deals", "4", "demo"]
+        )
+        assert args.seed == 7
+        assert args.deals == 4
+
+
+class TestCommands:
+    def test_search_tower(self, capsys):
+        code = main(FAST + ["search", "--tower", "Network Services"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DEAL" in out or "No matching" in out
+
+    def test_search_with_facets(self, capsys):
+        code = main(FAST + ["search", "--tower", "Network Services",
+                            "--facets"])
+        assert code == 0
+        out = capsys.readouterr().out
+        if "DEAL" in out:
+            assert "Refine by:" in out
+
+    def test_study(self, capsys):
+        code = main(FAST + ["study", "--threads", "24"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threads: 24" in out
+        assert "mq1" in out
+
+    def test_build_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "db.json"
+        code = main(FAST + ["build", str(snapshot)])
+        assert code == 0
+        assert snapshot.exists()
+        from repro.db import load_database
+
+        restored = load_database(snapshot)
+        assert restored.execute("SELECT COUNT(*) FROM deals").scalar() == 3
+
+    def test_synopsis_by_name(self, capsys):
+        code = main(FAST + ["synopsis", "DEAL A"])
+        assert code == 0
+        assert "Synopsis for DEAL A" in capsys.readouterr().out
+
+    def test_synopsis_unknown_deal(self, capsys):
+        code = main(FAST + ["synopsis", "DEAL ZZZ"])
+        assert code == 1
+        assert "known deals" in capsys.readouterr().err
+
+    def test_demo_runs(self, capsys):
+        code = main(FAST + ["demo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MQ1" in out and "MQ4" in out

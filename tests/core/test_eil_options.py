@@ -1,0 +1,68 @@
+"""Tests for EILSystem configuration options and error paths."""
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro.annotators import NaiveBayesClassifier
+from repro.core import scope_query
+from repro.errors import ProgrammingError
+
+SALES = User("u", frozenset({"sales"}))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(n_deals=4, docs_per_deal=16)
+    ).generate()
+
+
+class TestBuildOptions:
+    def test_search_before_build_rejected(self, corpus):
+        system = EILSystem(corpus.taxonomy, corpus.collection)
+        with pytest.raises(RuntimeError):
+            system.search(scope_query("WAN"), SALES)
+
+    def test_scope_threshold_tightens_extraction(self, corpus):
+        lenient = EILSystem.build(corpus, scope_min_weight=2.0)
+        strict = EILSystem.build(corpus, scope_min_weight=12.0)
+        lenient_towers = sum(
+            len(lenient.synopsis(d, SALES).towers)
+            for d in lenient.deal_ids()
+        )
+        strict_towers = sum(
+            len(strict.synopsis(d, SALES).towers)
+            for d in strict.deal_ids()
+        )
+        assert strict_towers < lenient_towers
+
+    def test_classifier_based_strategy_annotator(self, corpus):
+        classifier = NaiveBayesClassifier()
+        classifier.train(
+            [
+                ("Strategy: price to win with credits.", "strategy"),
+                ("Strategy: offshore delivery mix cost case.", "strategy"),
+                ("Weekly status call held with stakeholders.", "other"),
+                ("Travel arrangements were confirmed.", "other"),
+            ]
+        )
+        system = EILSystem.build(corpus,
+                                 strategy_classifier=classifier)
+        # The classifier path still extracts strategies for most deals.
+        with_strategies = sum(
+            1 for d in system.deal_ids()
+            if system.synopsis(d, SALES).win_strategies
+        )
+        assert with_strategies >= len(system.deal_ids()) // 2
+
+    def test_unknown_synopsis_rejected(self, corpus):
+        system = EILSystem.build(corpus)
+        with pytest.raises(ProgrammingError):
+            system.synopsis("ghost-deal", SALES)
+
+    def test_field_boosts_configurable(self, corpus):
+        system = EILSystem(
+            corpus.taxonomy, corpus.collection,
+            field_boosts={"title": 10.0},
+        )
+        assert system.engine.field_boosts["title"] == 10.0

@@ -1,0 +1,103 @@
+"""Property-based tests for corpus-generation invariants.
+
+The benchmarks' validity rests on these invariants: determinism per
+seed, scope/incidental disjointness, document-target compliance, and
+ground-truth/document alignment (every planted fact is actually written
+into the workbook somewhere).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    DealGenerator,
+    WorkbookFactory,
+    build_default_taxonomy,
+)
+
+seeds = st.integers(0, 10_000)
+
+
+class TestDeterminism:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_world(self, seed):
+        config = CorpusConfig(seed=seed, n_deals=3, docs_per_deal=14,
+                              n_threads=12)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert [d.towers for d in first.deals] == [
+            d.towers for d in second.deals
+        ]
+        assert [
+            [m.person.email for m in d.team] for d in first.deals
+        ] == [[m.person.email for m in d.team] for d in second.deals]
+        first_docs = [d.doc_id for d in first.collection.all_documents()]
+        second_docs = [d.doc_id for d in second.collection.all_documents()]
+        assert first_docs == second_docs
+        assert [t.true_types for t in first.threads] == [
+            t.true_types for t in second.threads
+        ]
+
+
+class TestDealInvariants:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_scope_and_incidentals_disjoint(self, seed):
+        for deal in DealGenerator(seed=seed).generate(6):
+            assert not set(deal.towers) & set(deal.incidental_services)
+            assert len(set(deal.towers)) == len(deal.towers)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_emails_unique_within_deal(self, seed):
+        for deal in DealGenerator(seed=seed).generate(6):
+            emails = [m.person.email for m in deal.team]
+            assert len(emails) == len(set(emails))
+
+
+class TestWorkbookInvariants:
+    @given(seeds, st.integers(12, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_docs_target_and_unique_ids(self, seed, target):
+        taxonomy = build_default_taxonomy()
+        deal = DealGenerator(seed=seed, taxonomy=taxonomy).generate(1)[0]
+        workbook = WorkbookFactory(taxonomy, seed=seed).build_workbook(
+            deal, target
+        )
+        assert len(workbook) == max(target, len(workbook.documents()))
+        ids = [d.doc_id for d in workbook.documents()]
+        assert len(ids) == len(set(ids))
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_planted_technologies_appear_in_documents(self, seed):
+        """Ground-truth/document alignment for Meta-query 4."""
+        taxonomy = build_default_taxonomy()
+        deal = DealGenerator(seed=seed, taxonomy=taxonomy).generate(1)[0]
+        workbook = WorkbookFactory(taxonomy, seed=seed).build_workbook(
+            deal, 20
+        )
+        all_text = " ".join(
+            rendered.fields["body"] for rendered in workbook.iter_documents()
+        )
+        for _, technology in deal.technologies:
+            assert technology in all_text
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_scope_terms_appear_in_documents(self, seed):
+        """Keyword recall = 1.0 in Table 2 depends on this invariant."""
+        taxonomy = build_default_taxonomy()
+        deal = DealGenerator(seed=seed, taxonomy=taxonomy).generate(1)[0]
+        workbook = WorkbookFactory(taxonomy, seed=seed).build_workbook(
+            deal, 20
+        )
+        all_text = " ".join(
+            rendered.fields["body"] for rendered in workbook.iter_documents()
+        ).lower()
+        for tower in deal.towers:
+            surfaces = taxonomy.get(tower).surface_forms
+            assert any(s.lower() in all_text for s in surfaces)

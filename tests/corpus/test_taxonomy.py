@@ -1,0 +1,96 @@
+"""Unit tests for the services taxonomy."""
+
+import pytest
+
+from repro.corpus import ServiceNode, ServiceTaxonomy, build_default_taxonomy
+from repro.errors import CorpusError
+
+
+@pytest.fixture
+def taxonomy():
+    return build_default_taxonomy()
+
+
+class TestStructure:
+    def test_eus_subtowers(self, taxonomy):
+        children = {n.name for n in taxonomy.subtowers("End User Services")}
+        assert "Customer Service Center" in children
+        assert "Distributed Client Services" in children
+
+    def test_expand_includes_descendants(self, taxonomy):
+        expanded = {n.name for n in taxonomy.expand("End User Services")}
+        assert "Customer Service Center" in expanded
+        assert "End User Services" in expanded
+
+    def test_expand_leaf_is_self(self, taxonomy):
+        assert [n.name for n in taxonomy.expand("Groupware")] == ["Groupware"]
+
+    def test_towers_are_top_level(self, taxonomy):
+        assert all(t.parent is None for t in taxonomy.towers)
+
+    def test_every_service_has_distinct_canonical(self, taxonomy):
+        names = [n.name for n in taxonomy.all_nodes]
+        assert len(names) == len(set(names))
+
+
+class TestLookup:
+    def test_resolve_acronym(self, taxonomy):
+        assert taxonomy.resolve("CSC").name == "Customer Service Center"
+
+    def test_resolve_alias(self, taxonomy):
+        assert taxonomy.resolve("Distributed Computing Services").name == (
+            "Distributed Client Services"
+        )
+
+    def test_resolve_case_insensitive(self, taxonomy):
+        assert taxonomy.resolve("end user services") is not None
+
+    def test_resolve_unknown(self, taxonomy):
+        assert taxonomy.resolve("Quantum Entanglement Services") is None
+
+    def test_canonical_shortcut(self, taxonomy):
+        assert taxonomy.canonical("EUS") == "End User Services"
+        assert taxonomy.canonical("zzz") is None
+
+    def test_get_unknown_raises(self, taxonomy):
+        with pytest.raises(CorpusError):
+            taxonomy.get("nope")
+
+    def test_contains(self, taxonomy):
+        assert "WAN" in taxonomy
+        assert "nope" not in taxonomy
+
+
+class TestValidation:
+    def test_duplicate_rejected(self):
+        with pytest.raises(CorpusError):
+            ServiceTaxonomy([ServiceNode("A"), ServiceNode("a")])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(CorpusError):
+            ServiceTaxonomy([ServiceNode("A", parent="Ghost")])
+
+    def test_surface_forms_order(self):
+        node = ServiceNode("Full Name", "FN", aliases=("Other",))
+        assert node.surface_forms == ("Full Name", "FN", "Other")
+
+
+class TestSuggestions:
+    def test_misspelling_suggested(self, taxonomy):
+        suggestions = taxonomy.suggest("Storage Managment Services")
+        assert suggestions[0] == "Storage Management Services"
+
+    def test_acronym_typo(self, taxonomy):
+        assert "Customer Service Center" in taxonomy.suggest(
+            "customer service centre"
+        )
+
+    def test_gibberish_yields_nothing(self, taxonomy):
+        assert taxonomy.suggest("zzzzqqqq") == []
+
+    def test_empty_input(self, taxonomy):
+        assert taxonomy.suggest("   ") == []
+
+    def test_limit_respected(self, taxonomy):
+        assert len(taxonomy.suggest("services", limit=2,
+                                    min_similarity=0.5)) <= 2

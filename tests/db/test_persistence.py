@@ -1,0 +1,132 @@
+"""Unit and property tests for database JSON persistence."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    Database,
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+from repro.errors import DatabaseError
+
+
+def make_db():
+    db = Database()
+    db.execute(
+        "CREATE TABLE deals (deal_id TEXT, name TEXT NOT NULL, "
+        "value REAL DEFAULT 1.5, started DATE, flag BOOLEAN, "
+        "PRIMARY KEY (deal_id))"
+    )
+    db.execute(
+        "CREATE TABLE contacts (cid INTEGER, deal_id TEXT, nm TEXT, "
+        "PRIMARY KEY (cid), "
+        "FOREIGN KEY (deal_id) REFERENCES deals (deal_id))"
+    )
+    db.execute("CREATE INDEX ix_value ON deals (value)")
+    db.execute(
+        "INSERT INTO deals VALUES "
+        "('d1', 'A', 2.0, '2006-01-05', TRUE), "
+        "('d2', 'B', NULL, NULL, FALSE)"
+    )
+    db.execute("INSERT INTO contacts VALUES (1, 'd1', 'Sam')")
+    return db
+
+
+class TestRoundtrip:
+    def test_rows_survive(self):
+        restored = loads_database(dumps_database(make_db()))
+        assert restored.execute("SELECT COUNT(*) FROM deals").scalar() == 2
+        row = restored.query_one(
+            "SELECT * FROM deals WHERE deal_id = 'd1'"
+        )
+        assert row["name"] == "A"
+        assert row["value"] == 2.0
+        assert row["started"] == datetime.date(2006, 1, 5)
+        assert row["flag"] is True
+
+    def test_nulls_survive(self):
+        restored = loads_database(dumps_database(make_db()))
+        row = restored.query_one(
+            "SELECT * FROM deals WHERE deal_id = 'd2'"
+        )
+        assert row["value"] is None and row["started"] is None
+
+    def test_constraints_survive(self):
+        restored = loads_database(dumps_database(make_db()))
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            restored.execute("INSERT INTO deals VALUES "
+                             "('d1', 'dup', 1.0, NULL, TRUE)")
+        with pytest.raises(IntegrityError):
+            restored.execute("INSERT INTO contacts VALUES (9, 'ghost', 'x')")
+
+    def test_secondary_indexes_survive(self):
+        restored = loads_database(dumps_database(make_db()))
+        result = restored.execute("SELECT deal_id FROM deals WHERE value > 1")
+        assert any("index range ix_value" in step for step in result.plan)
+
+    def test_fk_ordering_resolved(self):
+        # Alphabetical order would load 'contacts' before 'deals'.
+        restored = loads_database(dumps_database(make_db()))
+        assert restored.execute(
+            "SELECT COUNT(*) FROM contacts"
+        ).scalar() == 1
+
+    def test_defaults_survive(self):
+        restored = loads_database(dumps_database(make_db()))
+        restored.execute(
+            "INSERT INTO deals (deal_id, name) VALUES ('d3', 'C')"
+        )
+        assert restored.execute(
+            "SELECT value FROM deals WHERE deal_id = 'd3'"
+        ).scalar() == 1.5
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        dump_database(make_db(), path)
+        restored = load_database(path)
+        assert restored.table_names == ["contacts", "deals"]
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(DatabaseError):
+            loads_database("{not json")
+
+    def test_wrong_version(self):
+        with pytest.raises(DatabaseError, match="version"):
+            loads_database('{"version": 99, "tables": []}')
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 50),
+                st.one_of(st.none(), st.floats(-1e6, 1e6)),
+                st.one_of(st.none(),
+                          st.dates(datetime.date(1990, 1, 1),
+                                   datetime.date(2030, 12, 31))),
+            ),
+            max_size=25,
+            unique_by=lambda row: row[0],
+        )
+    )
+    @settings(max_examples=30)
+    def test_arbitrary_rows_roundtrip(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (pk INTEGER, x REAL, d DATE, "
+                   "PRIMARY KEY (pk))")
+        for pk, x, d in rows:
+            db.insert("t", {"pk": pk, "x": x, "d": d})
+        restored = loads_database(dumps_database(db))
+        original = sorted(db.execute("SELECT * FROM t").rows)
+        loaded = sorted(restored.execute("SELECT * FROM t").rows)
+        assert original == loaded

@@ -1,0 +1,134 @@
+"""Property-based tests: the engine agrees with brute-force Python.
+
+Random small tables and predicates are executed both through the SQL
+engine and through straightforward Python comprehensions; results must
+match exactly.  This is the strongest correctness signal for the planner
+(index pre-filtering must never change results).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+
+values = st.one_of(st.integers(-20, 20), st.none())
+rows = st.lists(
+    st.tuples(values, values, st.sampled_from(["x", "y", "z", None])),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_db(data, with_index):
+    db = Database()
+    db.execute("CREATE TABLE t (pk INTEGER, a INTEGER, b INTEGER, c TEXT, "
+               "PRIMARY KEY (pk))")
+    if with_index:
+        db.execute("CREATE INDEX ix_a ON t (a)")
+    for position, (a, b, c) in enumerate(data):
+        db.insert("t", {"pk": position, "a": a, "b": b, "c": c})
+    return db
+
+
+class TestEngineAgreesWithBruteForce:
+    @given(rows, st.integers(-20, 20), st.booleans())
+    @settings(max_examples=60)
+    def test_equality_filter(self, data, needle, with_index):
+        db = build_db(data, with_index)
+        result = db.execute("SELECT pk FROM t WHERE a = ?", [needle])
+        expected = sorted(
+            position for position, (a, _, _) in enumerate(data) if a == needle
+        )
+        assert sorted(result.column("pk")) == expected
+
+    @given(rows, st.integers(-20, 20), st.booleans())
+    @settings(max_examples=60)
+    def test_range_filter(self, data, bound, with_index):
+        db = build_db(data, with_index)
+        result = db.execute("SELECT pk FROM t WHERE a >= ?", [bound])
+        expected = sorted(
+            position
+            for position, (a, _, _) in enumerate(data)
+            if a is not None and a >= bound
+        )
+        assert sorted(result.column("pk")) == expected
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_conjunction(self, data):
+        db = build_db(data, True)
+        result = db.execute(
+            "SELECT pk FROM t WHERE a > 0 AND b < 5 AND c IS NOT NULL"
+        )
+        expected = sorted(
+            position
+            for position, (a, b, c) in enumerate(data)
+            if a is not None and a > 0 and b is not None and b < 5
+            and c is not None
+        )
+        assert sorted(result.column("pk")) == expected
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_group_by_count_matches(self, data):
+        db = build_db(data, False)
+        result = db.execute(
+            "SELECT c, COUNT(*) AS n FROM t GROUP BY c"
+        )
+        expected = {}
+        for _, _, c in data:
+            expected[c] = expected.get(c, 0) + 1
+        assert dict(result.rows) == expected
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_order_by_sorts_correctly(self, data):
+        db = build_db(data, False)
+        result = db.execute(
+            "SELECT a FROM t WHERE a IS NOT NULL ORDER BY a"
+        )
+        column = result.column("a")
+        assert column == sorted(column)
+
+    @given(rows)
+    @settings(max_examples=40)
+    def test_sum_and_avg(self, data):
+        db = build_db(data, False)
+        result = db.execute("SELECT SUM(a), AVG(a) FROM t")
+        present = [a for a, _, _ in data if a is not None]
+        total, average = result.rows[0]
+        if not present:
+            assert total is None and average is None
+        else:
+            assert total == sum(present)
+            assert abs(average - sum(present) / len(present)) < 1e-9
+
+    @given(rows, rows)
+    @settings(max_examples=30)
+    def test_join_matches_nested_loops(self, left_data, right_data):
+        db = Database()
+        db.execute("CREATE TABLE l (pk INTEGER, k INTEGER, PRIMARY KEY (pk))")
+        db.execute("CREATE TABLE r (pk INTEGER, k INTEGER, PRIMARY KEY (pk))")
+        for position, (a, _, _) in enumerate(left_data):
+            db.insert("l", {"pk": position, "k": a})
+        for position, (a, _, _) in enumerate(right_data):
+            db.insert("r", {"pk": position, "k": a})
+        result = db.execute(
+            "SELECT l.pk, r.pk AS rpk FROM l JOIN r ON l.k = r.k"
+        )
+        expected = sorted(
+            (i, j)
+            for i, (a, _, _) in enumerate(left_data)
+            for j, (b, _, _) in enumerate(right_data)
+            if a is not None and a == b
+        )
+        assert sorted(result.rows) == expected
+
+    @given(rows)
+    @settings(max_examples=30)
+    def test_distinct_matches_set(self, data):
+        db = build_db(data, False)
+        result = db.execute("SELECT DISTINCT c FROM t")
+        assert sorted(result.column("c"), key=str) == sorted(
+            {c for _, _, c in data}, key=str
+        )

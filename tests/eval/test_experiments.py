@@ -1,0 +1,77 @@
+"""Unit tests for experiment-driver helpers and report types."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.eval import (
+    TABLE2_SERVICES,
+    Table2Report,
+    Table2Row,
+    keyword_query_for_service,
+)
+from repro.eval.metrics import PrfScores
+from repro.search import parse_query
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(n_deals=3, docs_per_deal=14)
+    ).generate()
+
+
+class TestKeywordQueryBuilder:
+    def test_parent_query_includes_subtypes(self, corpus):
+        query = keyword_query_for_service(corpus, "End User Services")
+        assert '"End User Services"' in query
+        assert '"Customer Service Center"' in query
+        assert '"Distributed Client Services"' in query
+        assert "EUS" in query and "CSC" in query
+
+    def test_aliases_included(self, corpus):
+        query = keyword_query_for_service(corpus, "End User Services")
+        assert '"Customer Services Center"' in query  # alias form
+
+    def test_query_parses(self, corpus):
+        for service in TABLE2_SERVICES:
+            parse_query(keyword_query_for_service(corpus, service))
+
+    def test_leaf_service(self, corpus):
+        query = keyword_query_for_service(corpus, "Groupware")
+        assert query == "Groupware"
+
+    def test_no_duplicate_forms(self, corpus):
+        query = keyword_query_for_service(corpus, "Network Services")
+        parts = query.split(" OR ")
+        assert len(parts) == len(set(parts))
+
+
+class TestTable2Report:
+    def make_report(self):
+        report = Table2Report()
+        report.rows.append(Table2Row(
+            "q1", PrfScores(0.8, 1.0, 0.89), PrfScores(0.4, 1.0, 0.57)))
+        report.rows.append(Table2Row(
+            "q2", PrfScores(0.5, 0.5, 0.5), PrfScores(0.6, 1.0, 0.75)))
+        return report
+
+    def test_mean_f(self):
+        eil, keyword = self.make_report().mean_f()
+        assert eil == pytest.approx((0.89 + 0.5) / 2)
+        assert keyword == pytest.approx((0.57 + 0.75) / 2)
+
+    def test_eil_wins_counts_strict_wins(self):
+        assert self.make_report().eil_wins() == 1
+
+    def test_empty_report(self):
+        assert Table2Report().mean_f() == (0.0, 0.0)
+        assert Table2Report().eil_wins() == 0
+
+
+class TestTable2Services:
+    def test_ten_queries_like_the_paper(self):
+        assert len(TABLE2_SERVICES) == 10
+
+    def test_services_exist_in_taxonomy(self, corpus):
+        for service in TABLE2_SERVICES:
+            assert service in corpus.taxonomy

@@ -1,0 +1,87 @@
+"""Unit and property tests for retrieval metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval import dcg, evaluate_sets, f_measure, ndcg, precision, recall
+
+id_sets = st.sets(st.integers(0, 20), max_size=15)
+
+
+class TestPrecisionRecall:
+    def test_paper_definitions(self):
+        retrieved = {1, 2, 3, 4}
+        relevant = {1, 2, 5}
+        assert precision(retrieved, relevant) == 0.5
+        assert recall(retrieved, relevant) == pytest.approx(2 / 3)
+
+    def test_empty_retrieved(self):
+        assert precision(set(), {1}) == 1.0
+        assert recall(set(), {1}) == 0.0
+
+    def test_empty_relevant(self):
+        assert recall({1}, set()) == 1.0
+        assert precision({1}, set()) == 0.0
+
+    def test_f_measure_formula(self):
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_paper_table2_row1(self):
+        # EIL row 1 of the paper: P=0.82, R=1 -> F=0.9.
+        assert f_measure(0.82, 1.0) == pytest.approx(0.9, abs=0.005)
+
+    @given(id_sets, id_sets)
+    def test_bounds(self, retrieved, relevant):
+        scores = evaluate_sets(retrieved, relevant)
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.f_measure <= 1.0
+
+    @given(id_sets, id_sets)
+    def test_f_between_min_and_max(self, retrieved, relevant):
+        scores = evaluate_sets(retrieved, relevant)
+        low = min(scores.precision, scores.recall)
+        high = max(scores.precision, scores.recall)
+        assert low - 1e-12 <= scores.f_measure <= high + 1e-12
+
+    @given(id_sets)
+    def test_perfect_retrieval(self, items):
+        scores = evaluate_sets(items, items)
+        assert scores.precision == scores.recall == 1.0
+
+
+class TestNdcg:
+    def test_perfect_order(self):
+        relevance = {"a": 3, "b": 2, "c": 1}
+        assert ndcg(["a", "b", "c"], relevance) == pytest.approx(1.0)
+
+    def test_reversed_order_lower(self):
+        relevance = {"a": 3, "b": 2, "c": 1}
+        assert ndcg(["c", "b", "a"], relevance) < 1.0
+
+    def test_missing_relevant_items_penalized(self):
+        relevance = {"a": 3, "b": 3}
+        assert ndcg(["a"], relevance) < 1.0
+
+    def test_irrelevant_only(self):
+        assert ndcg(["x", "y"], {"a": 1}) == 0.0
+
+    def test_empty_relevance(self):
+        assert ndcg(["x"], {}) == 1.0
+
+    def test_k_truncation(self):
+        relevance = {"a": 1, "b": 1}
+        # "b" beyond k does not count.
+        assert ndcg(["x", "a", "b"], relevance, k=2) < 1.0
+
+    def test_dcg_discounting(self):
+        assert dcg([1.0]) == pytest.approx(1.0)
+        assert dcg([0.0, 1.0]) == pytest.approx(1.0 / 1.5849625007211562)
+
+    @given(st.lists(st.sampled_from("abcdef"), unique=True, max_size=6))
+    def test_bounds_property(self, ranked):
+        relevance = {"a": 2, "b": 1}
+        value = ndcg(ranked, relevance)
+        assert 0.0 <= value <= 1.0 + 1e-12

@@ -1,0 +1,79 @@
+"""Tests for the Section 2 email-study reproduction (experiment E1)."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.eval import MetaQueryClassifier
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(n_deals=4, docs_per_deal=15, n_threads=120)
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def report(corpus):
+    return MetaQueryClassifier().run_study(corpus.threads)
+
+
+class TestClassifier:
+    def test_mq1_pattern(self):
+        classifier = MetaQueryClassifier()
+        types = classifier.classify_text(
+            "Which business engagements have a scope that involves WAN?"
+        )
+        assert types == frozenset({"mq1"})
+
+    def test_mq2_pattern(self):
+        classifier = MetaQueryClassifier()
+        types = classifier.classify_text(
+            "Who in the CSE role has worked with Sam White in ABC?"
+        )
+        assert "mq2" in types
+
+    def test_mq3_pattern(self):
+        classifier = MetaQueryClassifier()
+        types = classifier.classify_text(
+            "Who has worked in the capacity of Pricer recently?"
+        )
+        assert "mq3" in types
+
+    def test_mq4_pattern(self):
+        classifier = MetaQueryClassifier()
+        types = classifier.classify_text(
+            "Who has worked on WAN that involved MPLS routing?"
+        )
+        assert "mq4" in types
+
+    def test_unrelated_text(self):
+        assert MetaQueryClassifier().classify_text("lunch on friday?") == (
+            frozenset()
+        )
+
+
+class TestStudyReproduction:
+    """The paper's Section 2 numbers must come out of the classifier."""
+
+    def test_total(self, report):
+        assert report.total == 120
+
+    def test_mq1_share_approx_38_percent(self, report):
+        assert report.percentage("mq1") == pytest.approx(38.3, abs=1.0)
+
+    def test_mq2_share_approx_17_percent(self, report):
+        assert report.percentage("mq2") == pytest.approx(16.7, abs=1.0)
+
+    def test_mq3_share_approx_36_percent(self, report):
+        assert report.percentage("mq3") == pytest.approx(35.8, abs=1.0)
+
+    def test_mq4_share_approx_29_percent(self, report):
+        assert report.percentage("mq4") == pytest.approx(29.2, abs=1.0)
+
+    def test_social_count_63_of_120(self, report):
+        assert report.social_count == 63
+        assert report.social_percentage() == pytest.approx(52.5, abs=0.1)
+
+    def test_classifier_agrees_with_ground_truth(self, report):
+        assert report.label_accuracy >= 0.95

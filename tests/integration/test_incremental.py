@@ -1,0 +1,97 @@
+"""Integration tests for incremental deal onboarding/offboarding."""
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro.core import scope_query
+from repro.corpus import DealGenerator, WorkbookFactory
+
+SALES = User("u", frozenset({"sales"}))
+
+
+@pytest.fixture
+def world():
+    corpus = CorpusGenerator(
+        CorpusConfig(n_deals=4, docs_per_deal=16)
+    ).generate()
+    eil = EILSystem.build(corpus)
+    # A fifth deal, generated consistently with the same taxonomy.
+    generator = DealGenerator(seed=999, taxonomy=corpus.taxonomy)
+    new_deal = generator.generate(5)[4]
+    workbook = WorkbookFactory(corpus.taxonomy, seed=999).build_workbook(
+        new_deal, 16
+    )
+    return corpus, eil, new_deal, workbook
+
+
+class TestAddWorkbook:
+    def test_new_deal_becomes_searchable(self, world):
+        corpus, eil, new_deal, workbook = world
+        before_docs = len(eil.engine)
+        eil.add_workbook(workbook)
+        assert len(eil.engine) == before_docs + len(workbook)
+        assert new_deal.deal_id in eil.deal_ids()
+        synopsis = eil.synopsis(new_deal.deal_id, SALES)
+        assert synopsis.name == new_deal.name
+        assert synopsis.contacts()
+
+    def test_new_deal_appears_in_concept_search(self, world):
+        corpus, eil, new_deal, workbook = world
+        eil.add_workbook(workbook)
+        # Pick a service truly in the new deal's scope.
+        service = new_deal.towers[0]
+        results = eil.search(scope_query(service), SALES)
+        assert new_deal.deal_id in results.deal_ids
+
+    def test_existing_deals_untouched(self, world):
+        corpus, eil, _, workbook = world
+        before = {
+            deal_id: eil.synopsis(deal_id, SALES).towers
+            for deal_id in eil.deal_ids()
+        }
+        eil.add_workbook(workbook)
+        for deal_id, towers in before.items():
+            assert eil.synopsis(deal_id, SALES).towers == towers
+
+    def test_build_report_updated(self, world):
+        corpus, eil, _, workbook = world
+        deals_before = eil.build_report.deals_populated
+        eil.add_workbook(workbook)
+        assert eil.build_report.deals_populated == deals_before + 1
+
+    def test_add_before_build_rejected(self, world):
+        corpus, _, _, workbook = world
+        fresh = EILSystem(corpus.taxonomy, corpus.collection)
+        with pytest.raises(RuntimeError):
+            fresh.add_workbook(workbook)
+
+
+class TestRemoveDeal:
+    def test_removal_clears_index_and_synopsis(self, world):
+        corpus, eil, _, _ = world
+        victim = corpus.deals[0].deal_id
+        removed = eil.remove_deal(victim)
+        assert removed > 0
+        assert victim not in eil.deal_ids()
+        assert all(
+            h.metadata.get("deal_id") != victim
+            for h in eil.keyword_search("services")
+        )
+
+    def test_removed_deal_absent_from_search(self, world):
+        corpus, eil, _, _ = world
+        victim = corpus.deals[0]
+        eil.remove_deal(victim.deal_id)
+        for service in victim.towers[:2]:
+            results = eil.search(scope_query(service), SALES)
+            assert victim.deal_id not in results.deal_ids
+
+    def test_roundtrip_add_after_remove(self, world):
+        corpus, eil, new_deal, workbook = world
+        eil.add_workbook(workbook)
+        eil.remove_deal(new_deal.deal_id)
+        assert new_deal.deal_id not in eil.deal_ids()
+
+    def test_remove_unknown_deal_is_noop(self, world):
+        _, eil, _, _ = world
+        assert eil.remove_deal("ghost") == 0

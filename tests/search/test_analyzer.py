@@ -1,0 +1,52 @@
+"""Unit tests for the analysis pipeline."""
+
+from repro.search import Analyzer
+
+
+class TestAnalyzer:
+    def test_stems_and_stops(self):
+        analyzer = Analyzer()
+        terms = [t.term for t in analyzer.analyze("the services of a deal")]
+        assert terms == ["servic", "deal"]
+
+    def test_positions_account_for_stopwords(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze("the services of the deal")
+        # "services" is token 1, "deal" is token 4.
+        assert [(t.term, t.position) for t in terms] == [
+            ("servic", 1),
+            ("deal", 4),
+        ]
+
+    def test_offsets_point_into_source(self):
+        analyzer = Analyzer()
+        text = "Storage Management Services"
+        for term in analyzer.analyze(text):
+            assert text[term.start:term.end].lower().startswith(term.term[:3])
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(use_stemming=False)
+        terms = [t.term for t in analyzer.analyze("services")]
+        assert terms == ["services"]
+
+    def test_no_stopwords_option(self):
+        analyzer = Analyzer(use_stopwords=False)
+        terms = [t.term for t in analyzer.analyze("the deal")]
+        assert terms[0] == "the"
+
+    def test_it_is_not_a_stopword(self):
+        # "IT services" must keep "it" — it's a domain term here.
+        analyzer = Analyzer()
+        terms = [t.term for t in analyzer.analyze("IT services")]
+        assert "it" in terms
+
+    def test_query_terms_helper(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_query_terms("End User Services") == [
+            "end",
+            "user",
+            "servic",
+        ]
+
+    def test_empty_text(self):
+        assert Analyzer().analyze("") == []

@@ -1,0 +1,110 @@
+"""Property tests: query semantics agree with brute-force evaluation.
+
+Random small documents and random boolean query trees; the engine's
+matched set must equal a direct evaluation of the boolean semantics
+over the documents' term sets.  Stemming/stopping are disabled so the
+brute force stays trivially correct.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import (
+    Analyzer,
+    AndQuery,
+    IndexableDocument,
+    NotQuery,
+    OrQuery,
+    SearchEngine,
+    TermQuery,
+)
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+documents = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=8),
+    min_size=1,
+    max_size=10,
+)
+
+
+def query_trees(max_depth=3):
+    leaves = st.builds(TermQuery, st.sampled_from(WORDS))
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(
+                lambda a, b: AndQuery((a, b)), children, children
+            ),
+            st.builds(
+                lambda a, b: OrQuery((a, b)), children, children
+            ),
+            st.builds(NotQuery, children),
+        ),
+        max_leaves=6,
+    )
+
+
+def brute_force(query, doc_words, all_ids):
+    if isinstance(query, TermQuery):
+        return {i for i, words in doc_words.items()
+                if query.text in words}
+    if isinstance(query, AndQuery):
+        positives = [c for c in query.clauses
+                     if not isinstance(c, NotQuery)]
+        negatives = [c.clause for c in query.clauses
+                     if isinstance(c, NotQuery)]
+        if positives:
+            matched = set(all_ids)
+            for clause in positives:
+                matched &= brute_force(clause, doc_words, all_ids)
+        else:
+            matched = set(all_ids)
+        for clause in negatives:
+            matched -= brute_force(clause, doc_words, all_ids)
+        return matched
+    if isinstance(query, OrQuery):
+        matched = set()
+        for clause in query.clauses:
+            matched |= brute_force(clause, doc_words, all_ids)
+        return matched
+    if isinstance(query, NotQuery):
+        return set(all_ids) - brute_force(query.clause, doc_words,
+                                          all_ids)
+    raise AssertionError(query)
+
+
+def build_engine(docs):
+    engine = SearchEngine(
+        analyzer=Analyzer(use_stemming=False, use_stopwords=False)
+    )
+    doc_words = {}
+    for i, words in enumerate(docs):
+        doc_id = f"d{i}"
+        engine.add(IndexableDocument(doc_id, {"body": " ".join(words)}))
+        doc_words[doc_id] = set(words)
+    return engine, doc_words
+
+
+class TestBooleanSemantics:
+    @given(documents, query_trees())
+    @settings(max_examples=80)
+    def test_matched_set_equals_brute_force(self, docs, query):
+        engine, doc_words = build_engine(docs)
+        expected = brute_force(query, doc_words, set(doc_words))
+        matched = {hit.doc_id for hit in engine.search(query)}
+        assert matched == expected
+
+    @given(documents, query_trees())
+    @settings(max_examples=40)
+    def test_count_consistent_with_search(self, docs, query):
+        engine, _ = build_engine(docs)
+        assert engine.count(query) == len(engine.search(query))
+
+    @given(documents, st.sampled_from(WORDS))
+    @settings(max_examples=40)
+    def test_scores_positive_for_term_matches(self, docs, word):
+        engine, doc_words = build_engine(docs)
+        for hit in engine.search(TermQuery(word)):
+            assert hit.score > 0
+            assert word in doc_words[hit.doc_id]

@@ -1,0 +1,46 @@
+"""Unit tests for the data-acquisition crawler."""
+
+from repro.search import Crawler, IndexableDocument, SearchEngine
+
+
+class ListSource:
+    def __init__(self, documents):
+        self._documents = documents
+
+    def iter_documents(self):
+        return iter(self._documents)
+
+
+class TestCrawler:
+    def test_crawl_indexes_everything(self):
+        engine = SearchEngine()
+        source = ListSource(
+            [
+                IndexableDocument("a", {"body": "alpha"}),
+                IndexableDocument("b", {"body": "beta"}),
+            ]
+        )
+        report = Crawler(engine).crawl(source)
+        assert report.indexed == 2
+        assert report.skipped == 0
+        assert len(engine) == 2
+
+    def test_duplicates_skipped_not_fatal(self):
+        engine = SearchEngine()
+        doc = IndexableDocument("a", {"body": "alpha"})
+        report = Crawler(engine).crawl(ListSource([doc, doc]))
+        assert report.indexed == 1
+        assert report.skipped == 1
+        assert "already indexed" in report.errors[0]
+
+    def test_crawl_all_combines_reports(self):
+        engine = SearchEngine()
+        crawler = Crawler(engine)
+        report = crawler.crawl_all(
+            [
+                ListSource([IndexableDocument("a", {"body": "x"})]),
+                ListSource([IndexableDocument("b", {"body": "y"})]),
+            ]
+        )
+        assert report.indexed == 2
+        assert engine.count("x") == 1

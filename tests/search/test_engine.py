@@ -1,0 +1,176 @@
+"""Unit tests for the search engine: matching, ranking, filtering."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search import (
+    Bm25Scorer,
+    IndexableDocument,
+    SearchEngine,
+    TfidfScorer,
+)
+
+
+@pytest.fixture
+def engine():
+    e = SearchEngine()
+    e.add_all(
+        [
+            IndexableDocument(
+                "a",
+                {"title": "End User Services scope",
+                 "body": "Customer Services Center and Distributed "
+                         "Client Services are in scope for this deal."},
+                {"deal_id": "d1", "doc_type": "scope"},
+            ),
+            IndexableDocument(
+                "b",
+                {"title": "Technical solution",
+                 "body": "data replication between the two data centers "
+                         "with storage management services"},
+                {"deal_id": "d2", "doc_type": "solution"},
+            ),
+            IndexableDocument(
+                "c",
+                {"title": "Team roster",
+                 "body": "Sam White is the CSE. Contact "
+                         "sam.white@abc.com for details."},
+                {"deal_id": "d2", "doc_type": "roster"},
+            ),
+            IndexableDocument(
+                "d",
+                {"title": "Weekly minutes",
+                 "body": "Nothing about services here, only schedules."},
+                {"deal_id": "d3", "doc_type": "minutes"},
+            ),
+        ]
+    )
+    return e
+
+
+class TestMatching:
+    def test_and_semantics(self, engine):
+        assert [h.doc_id for h in engine.search("data replication")] == ["b"]
+
+    def test_query_with_no_hits(self, engine):
+        assert engine.search("zeppelin") == []
+
+    def test_stemming_collides_variants(self, engine):
+        # "service" matches documents containing "services".
+        assert engine.count("service") == engine.count("services")
+
+    def test_phrase_vs_bag_of_words(self, engine):
+        assert engine.count('"customer services center"') == 1
+        # Bag of words also matches doc a only here, but scores differ.
+        phrase_hit = engine.search('"customer services center"')[0]
+        bag_hit = engine.search("customer services center")[0]
+        assert phrase_hit.score > bag_hit.score
+
+    def test_or(self, engine):
+        assert engine.count("replication OR roster") == 2
+
+    def test_negation(self, engine):
+        ids = {h.doc_id for h in engine.search("services -replication")}
+        assert ids == {"a", "d"}
+
+    def test_pure_negation_matches_complement(self, engine):
+        # Only doc c lacks the term "services".
+        ids = {h.doc_id for h in engine.search("-services")}
+        assert ids == {"c"}
+
+    def test_field_search(self, engine):
+        assert [h.doc_id for h in engine.search("title:roster")] == ["c"]
+        assert engine.count("body:roster") == 0
+
+    def test_count_matches_search_length(self, engine):
+        assert engine.count("services") == len(engine.search("services"))
+
+
+class TestRanking:
+    def test_scores_descending(self, engine):
+        hits = engine.search("services")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic_tie_break(self, engine):
+        hits = engine.search("services")
+        # Re-running produces the identical order.
+        assert [h.doc_id for h in hits] == [
+            h.doc_id for h in engine.search("services")
+        ]
+
+    def test_limit(self, engine):
+        assert len(engine.search("services", limit=1)) == 1
+
+    def test_field_boost_changes_ranking(self):
+        docs = [
+            IndexableDocument("t", {"title": "replication", "body": "x y"}),
+            IndexableDocument("b", {"title": "x", "body": "replication y"}),
+        ]
+        boosted = SearchEngine(field_boosts={"title": 5.0})
+        boosted.add_all(docs)
+        assert boosted.search("replication")[0].doc_id == "t"
+
+    def test_tfidf_scorer_pluggable(self, engine):
+        e = SearchEngine(scorer=TfidfScorer())
+        e.add(IndexableDocument("x", {"body": "services services rare"}))
+        e.add(IndexableDocument("y", {"body": "services"}))
+        hits = e.search("services")
+        assert hits[0].doc_id == "x"  # higher tf wins
+
+    def test_bm25_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Bm25Scorer(k1=-1)
+        with pytest.raises(ValueError):
+            Bm25Scorer(b=2.0)
+
+    def test_rare_term_outscores_common(self, engine):
+        # "replication" (df=1) should contribute more than "services" (df=3)
+        rep = engine.search("replication")[0].score
+        srv = max(h.score for h in engine.search("services"))
+        assert rep > srv * 0.5  # same ballpark check; rare term is strong
+
+
+class TestFiltering:
+    def test_doc_filter_by_set(self, engine):
+        hits = engine.search("services", doc_filter={"a", "d"})
+        assert {h.doc_id for h in hits} == {"a", "d"}
+
+    def test_doc_filter_by_predicate(self, engine):
+        hits = engine.search(
+            "services",
+            doc_filter=lambda d: d.metadata.get("deal_id") == "d2",
+        )
+        assert {h.doc_id for h in hits} == {"b"}
+
+    def test_count_respects_filter(self, engine):
+        assert engine.count("services", doc_filter={"a"}) == 1
+
+
+class TestSnippets:
+    def test_snippet_contains_match(self, engine):
+        hit = engine.search("replication")[0]
+        assert "replication" in hit.snippet.lower()
+
+    def test_snippet_fallback_for_negation_only(self, engine):
+        hit = engine.search("-zeppelin")[0]
+        assert hit.snippet  # leading text used as fallback
+
+
+class TestLifecycle:
+    def test_remove_then_search(self, engine):
+        engine.remove("b")
+        assert engine.count("replication") == 0
+        assert len(engine) == 3
+
+    def test_metadata_carried_through(self, engine):
+        hit = engine.search("replication")[0]
+        assert hit.metadata["deal_id"] == "d2"
+
+    def test_document_validation(self):
+        with pytest.raises(SearchError):
+            IndexableDocument("", {"a": "b"})
+        with pytest.raises(SearchError):
+            IndexableDocument("x", {})
+        with pytest.raises(SearchError):
+            IndexableDocument("x", {"a": 42})

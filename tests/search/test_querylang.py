@@ -1,0 +1,87 @@
+"""Unit tests for the keyword query parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.search import (
+    AndQuery,
+    NotQuery,
+    OrQuery,
+    PhraseQuery,
+    TermQuery,
+    parse_query,
+)
+
+
+class TestParsing:
+    def test_single_term(self):
+        assert parse_query("services") == TermQuery("services")
+
+    def test_implicit_and(self):
+        query = parse_query("end user services")
+        assert isinstance(query, AndQuery)
+        assert len(query.clauses) == 3
+
+    def test_explicit_and_is_noop(self):
+        assert parse_query("a AND b") == parse_query("a b")
+
+    def test_phrase(self):
+        assert parse_query('"end user services"') == PhraseQuery(
+            "end user services"
+        )
+
+    def test_or(self):
+        query = parse_query('csc OR "customer services center"')
+        assert isinstance(query, OrQuery)
+        assert query.clauses[0] == TermQuery("csc")
+        assert query.clauses[1] == PhraseQuery("customer services center")
+
+    def test_or_case_insensitive_keyword(self):
+        assert isinstance(parse_query("a or b"), OrQuery)
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_query("a b OR c")
+        assert isinstance(query, OrQuery)
+        assert isinstance(query.clauses[0], AndQuery)
+
+    def test_minus_negation(self):
+        query = parse_query("services -template")
+        assert isinstance(query, AndQuery)
+        assert query.clauses[1] == NotQuery(TermQuery("template"))
+
+    def test_not_keyword(self):
+        query = parse_query("services NOT template")
+        assert query.clauses[1] == NotQuery(TermQuery("template"))
+
+    def test_field_term(self):
+        assert parse_query("title:network") == TermQuery(
+            "network", field="title"
+        )
+
+    def test_field_phrase(self):
+        assert parse_query('title:"cross tower TSA"') == PhraseQuery(
+            "cross tower TSA", field="title"
+        )
+
+    def test_parentheses(self):
+        query = parse_query("(a OR b) c")
+        assert isinstance(query, AndQuery)
+        assert isinstance(query.clauses[0], OrQuery)
+
+    def test_nested_negated_group(self):
+        query = parse_query("-(a OR b) c")
+        assert isinstance(query, AndQuery)
+        assert isinstance(query.clauses[0], NotQuery)
+
+    def test_hyphenated_word_not_negation(self):
+        # "cross-tower" has an internal hyphen; only a leading '-' negates.
+        query = parse_query("cross-tower")
+        assert query == TermQuery("cross-tower")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["", "   ", "()", "a OR", '"unclosed',
+                                     "(a", "field:"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)

@@ -1,0 +1,93 @@
+"""Direct unit tests for the BM25 and TF-IDF scorers."""
+
+import pytest
+
+from repro.search import Analyzer, Bm25Scorer, IndexableDocument, TfidfScorer
+from repro.search.inverted_index import InvertedIndex
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex(Analyzer(use_stemming=False, use_stopwords=False))
+    idx.add(IndexableDocument("short", {"body": "wan wan lan"}))
+    idx.add(IndexableDocument("long", {"body": "wan " + "filler " * 40}))
+    idx.add(IndexableDocument("other", {"body": "lan mainframe storage"}))
+    return idx
+
+
+class TestBm25:
+    def test_absent_term_scores_zero(self, index):
+        assert Bm25Scorer().score(index, "ghost", "short") == 0.0
+
+    def test_higher_tf_higher_score(self, index):
+        scorer = Bm25Scorer()
+        assert scorer.score(index, "wan", "short") > 0
+
+    def test_length_normalization(self, index):
+        # Same tf=... actually short has tf=2, but test length effect
+        # with tf=1 docs: matching term in a shorter document scores
+        # higher than in a longer one.
+        scorer = Bm25Scorer()
+        short_lan = scorer.score(index, "lan", "short")
+        # "lan" appears once in both 'short' (3 tokens) and 'other'
+        # (3 tokens)... use 'wan' in 'long' (41 tokens) vs 'lan' in
+        # 'other' (3 tokens): compare same-df different-length instead.
+        long_wan = scorer.score(index, "wan", "long")
+        short_wan = scorer.score(index, "wan", "short")
+        assert short_wan > long_wan
+        assert short_lan > 0
+
+    def test_rare_term_beats_common_at_same_tf(self, index):
+        scorer = Bm25Scorer()
+        # "mainframe" (df=1) vs "lan" (df=2), both tf=1 in 'other'.
+        assert scorer.score(index, "mainframe", "other") > scorer.score(
+            index, "lan", "other"
+        )
+
+    def test_precomputed_df_matches_computed(self, index):
+        scorer = Bm25Scorer()
+        computed = scorer.score(index, "wan", "short", "body")
+        df = index.document_frequency("wan", "body")
+        assert scorer.score(index, "wan", "short", "body", df=df) == (
+            pytest.approx(computed)
+        )
+
+    def test_b_zero_disables_length_normalization(self, index):
+        scorer = Bm25Scorer(b=0.0)
+        assert scorer.score(index, "wan", "long") == pytest.approx(
+            scorer.score(index, "wan", "long", None)
+        )
+        # With b=0 and equal tf, doc length is irrelevant.
+        long_score = scorer.score(index, "wan", "long")
+        # 'short' has tf=2 so compare via 'lan': tf=1 in short & other.
+        assert scorer.score(index, "lan", "short") == pytest.approx(
+            scorer.score(index, "lan", "other")
+        )
+        assert long_score > 0
+
+    def test_empty_index(self):
+        empty = InvertedIndex()
+        assert Bm25Scorer().score(empty, "x", "y") == 0.0
+
+
+class TestTfidf:
+    def test_absent_term_scores_zero(self, index):
+        assert TfidfScorer().score(index, "ghost", "short") == 0.0
+
+    def test_tf_monotone(self, index):
+        scorer = TfidfScorer()
+        assert scorer.score(index, "wan", "short") > scorer.score(
+            index, "wan", "long"
+        )
+
+    def test_idf_component(self, index):
+        scorer = TfidfScorer()
+        assert scorer.score(index, "mainframe", "other") > scorer.score(
+            index, "lan", "other"
+        )
+
+    def test_precomputed_df_consistent(self, index):
+        scorer = TfidfScorer()
+        assert scorer.score(index, "lan", "other", None, df=2) == (
+            pytest.approx(scorer.score(index, "lan", "other"))
+        )

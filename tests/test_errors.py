@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy contract.
+
+API consumers catch :class:`ReproError` at boundaries; every error the
+package raises must be a subclass, and the DB-API-style database errors
+must sit under :class:`DatabaseError`.
+"""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_database_family(self):
+        for cls in (errors.SchemaError, errors.TypeMismatchError,
+                    errors.IntegrityError, errors.ProgrammingError,
+                    errors.SqlSyntaxError, errors.TransactionError):
+            assert issubclass(cls, errors.DatabaseError)
+
+    def test_sql_syntax_is_programming_error(self):
+        assert issubclass(errors.SqlSyntaxError, errors.ProgrammingError)
+
+    def test_search_family(self):
+        assert issubclass(errors.QuerySyntaxError, errors.SearchError)
+
+    def test_annotator_family(self):
+        assert issubclass(errors.TypeSystemError, errors.AnnotatorError)
+
+
+class TestCatchability:
+    def test_db_error_caught_as_repro_error(self):
+        from repro.db import Database
+
+        with pytest.raises(errors.ReproError):
+            Database().execute("SELECT * FROM nowhere")
+
+    def test_search_error_caught_as_repro_error(self):
+        from repro.search import parse_query
+
+        with pytest.raises(errors.ReproError):
+            parse_query("")
+
+    def test_corpus_error_caught_as_repro_error(self):
+        from repro.corpus import CorpusConfig
+
+        with pytest.raises(errors.ReproError):
+            CorpusConfig(n_deals=0)

@@ -1,0 +1,117 @@
+"""Unit tests for field normalization (paper Fig. 3 steps 6 and 12)."""
+
+import pytest
+
+from repro.text import (
+    name_key,
+    normalize_email,
+    normalize_person_name,
+    normalize_phone,
+    normalize_role,
+    normalize_whitespace,
+    person_from_email,
+)
+
+
+class TestWhitespace:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("  a \t b\n c  ") == "a b c"
+
+    def test_empty(self):
+        assert normalize_whitespace("   ") == ""
+
+
+class TestPersonName:
+    def test_last_first_order(self):
+        assert normalize_person_name("White, Sam") == "Sam White"
+
+    def test_case_folding(self):
+        assert normalize_person_name("sam WHITE") == "Sam White"
+
+    def test_honorific_stripped(self):
+        assert normalize_person_name("Mr. Sam White") == "Sam White"
+        assert normalize_person_name("Dr Jane Doe") == "Jane Doe"
+
+    def test_middle_initial_preserved(self):
+        assert normalize_person_name("sam j. white") == "Sam J. White"
+
+    def test_hyphenated_surname(self):
+        assert normalize_person_name("anne smith-jones") == "Anne Smith-Jones"
+
+    def test_name_key_order_insensitive(self):
+        assert name_key("White, Sam") == name_key("sam white")
+
+    def test_name_key_distinguishes_people(self):
+        assert name_key("Sam White") != name_key("Sam Black")
+
+
+class TestPhone:
+    def test_us_ten_digit(self):
+        assert normalize_phone("(914) 555-0143") == "+1-914-555-0143"
+
+    def test_us_eleven_digit(self):
+        assert normalize_phone("1-914-555-0143") == "+1-914-555-0143"
+
+    def test_already_normalized(self):
+        assert normalize_phone("+1-914-555-0143") == "+1-914-555-0143"
+
+    def test_international_passthrough(self):
+        assert normalize_phone("+44 20 7946 0958") == "+442079460958"
+
+    def test_rejects_noise(self):
+        assert normalize_phone("page 3") is None
+        assert normalize_phone("no digits here") is None
+
+    def test_rejects_overlong(self):
+        assert normalize_phone("1" * 20) is None
+
+
+class TestEmail:
+    def test_lowercase_and_strip(self):
+        assert normalize_email(" <Sam.White@ABC.com>, ") == "sam.white@abc.com"
+
+
+class TestRole:
+    def test_acronym_expansion(self):
+        assert normalize_role("CSE") == "Client Solution Executive"
+        assert normalize_role("cross tower TSA") == (
+            "Cross Tower Technical Solution Architect"
+        )
+
+    def test_trailing_period(self):
+        assert normalize_role("Client Solution Exec.") == (
+            "Client Solution Executive"
+        )
+
+    def test_unknown_role_title_cased(self):
+        assert normalize_role("bid manager") == "Bid Manager"
+
+    def test_sourcing_consultant_maps_to_third_party(self):
+        assert normalize_role("sourcing consultant") == "Third Party Consultant"
+
+
+class TestPersonFromEmail:
+    def test_corporate_convention(self):
+        assert person_from_email("sam.white@abc.com") == ("Sam White", "ABC")
+
+    def test_underscore_separator(self):
+        assert person_from_email("jane_doe@megacorp.com") == (
+            "Jane Doe",
+            "Megacorp",
+        )
+
+    def test_trailing_digits_allowed(self):
+        assert person_from_email("sam.white2@abc.com") == ("Sam White", "ABC")
+
+    def test_nonconforming_local_part(self):
+        assert person_from_email("jsmith42@abc.com") is None
+
+    def test_no_domain(self):
+        assert person_from_email("not-an-email") is None
+
+    @pytest.mark.parametrize(
+        "email,org",
+        [("a.b@ibm.com", "IBM"), ("a.b@initech.com", "Initech")],
+    )
+    def test_short_domains_uppercased(self, email, org):
+        assert person_from_email(email)[1] == org

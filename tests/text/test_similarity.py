@@ -1,0 +1,110 @@
+"""Unit and property tests for string-similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    token_set_ratio,
+)
+
+short_text = st.text(max_size=24)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("white", "white") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("white", "whita") == 1
+
+    def test_insert_delete(self):
+        assert levenshtein("white", "whiter") == 1
+        assert levenshtein("whiter", "white") == 1
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_ratio_bounds(self):
+        assert levenshtein_ratio("same", "same") == 1.0
+        assert levenshtein_ratio("", "") == 1.0
+        assert levenshtein_ratio("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry_and_bounds(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert jaro_winkler("dixon", "dicksonx") > jaro("dixon", "dicksonx")
+
+    def test_known_value(self):
+        assert jaro_winkler("dwayne", "duane") == pytest.approx(0.84, abs=0.01)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_at_least_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+class TestTokenSetRatio:
+    def test_order_insensitive(self):
+        assert token_set_ratio(["Sam", "White"], ["white", "sam"]) == 1.0
+
+    def test_partial_overlap(self):
+        assert token_set_ratio(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert token_set_ratio([], []) == 1.0
+
+    def test_one_empty(self):
+        assert token_set_ratio(["a"], []) == 0.0
