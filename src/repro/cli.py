@@ -8,6 +8,8 @@ Commands:
 * ``build``   — run the offline pipeline and save the organized
   information to a JSON snapshot.
 * ``synopsis`` — print one deal's synopsis by name or id.
+* ``stats``   — build + query with a fresh metrics registry and print
+  the per-stage observability report (offline and online pipelines).
 
 The CLI always works on the synthetic corpus (seeded, so results are
 reproducible); flags control scale and the query.
@@ -16,9 +18,11 @@ reproducible); flags control scale and the query.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core.eil import EILSystem
 from repro.core.facets import FacetService
 from repro.core.metaqueries import (
@@ -84,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     synopsis = commands.add_parser("synopsis", help="print one synopsis")
     synopsis.add_argument("deal", help="deal name (DEAL A) or deal id")
+
+    stats = commands.add_parser(
+        "stats",
+        help="build + query, then print per-stage observability stats",
+    )
+    stats.add_argument("--queries", type=int, default=3,
+                       help="repetitions of the query workload "
+                            "(default: 3)")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the raw metrics/trace JSON instead of "
+                            "the text report")
 
     return parser
 
@@ -188,12 +203,44 @@ def _cmd_synopsis(args: argparse.Namespace) -> int:
     return 1
 
 
+def _stats_workload(eil: EILSystem, corpus, rounds: int) -> None:
+    """A representative online mix: the four meta-queries + baseline."""
+    member = corpus.deals[0].team[0]
+    forms = (
+        scope_query("End User Services"),
+        worked_with_query(member.person.full_name),
+        role_capacity_query("cross tower TSA"),
+        service_keyword_query("Storage Management Services",
+                              "data replication"),
+    )
+    for _ in range(max(1, rounds)):
+        for form in forms:
+            eil.search(form, _USER)
+        eil.keyword_search("end user services")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with obs.use_registry() as registry, obs.use_tracer() as tracer:
+        corpus, eil = _make_system(args)
+        _stats_workload(eil, corpus, args.queries)
+        if args.as_json:
+            print(json.dumps(obs.stats_dict(registry, tracer), indent=2))
+        else:
+            report = eil.build_report
+            print(f"corpus: {args.deals} deals x {args.docs} docs "
+                  f"({report.documents_indexed} documents indexed)")
+            print()
+            print(obs.render_stats(registry))
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "search": _cmd_search,
     "study": _cmd_study,
     "build": _cmd_build,
     "synopsis": _cmd_synopsis,
+    "stats": _cmd_stats,
 }
 
 

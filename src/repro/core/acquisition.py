@@ -9,6 +9,7 @@ paper's production deployment.
 from __future__ import annotations
 
 from repro.docmodel.repository import WorkbookCollection
+from repro.obs import get_registry, get_tracer
 from repro.search.crawler import Crawler, CrawlReport
 from repro.search.engine import SearchEngine
 
@@ -24,7 +25,14 @@ class DataAcquisition:
 
     def acquire(self, collection: WorkbookCollection) -> CrawlReport:
         """Crawl every workbook in the collection into the index."""
-        return self._crawler.crawl_all(iter(collection))
+        with get_tracer().span("offline.acquire") as span:
+            report = self._crawler.crawl_all(iter(collection))
+        metrics = get_registry()
+        metrics.inc("acquisition.documents_indexed", report.indexed)
+        metrics.inc("acquisition.documents_skipped", report.skipped)
+        metrics.set_gauge("index.documents", len(self.engine))
+        span.set_attribute("indexed", report.indexed)
+        return report
 
     @property
     def indexed_documents(self) -> int:

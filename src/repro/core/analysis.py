@@ -22,6 +22,7 @@ from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.docmodel.parsers import DocumentParser, register_structure_types
 from repro.docmodel.repository import WorkbookCollection
 from repro.intranet.directory import PersonnelDirectory
+from repro.obs import get_registry, get_tracer
 from repro.uima.cas import Cas
 from repro.uima.cpe import CasConsumer, CollectionProcessingEngine
 from repro.uima.typesystem import TypeSystem
@@ -125,10 +126,15 @@ class InformationAnalysis:
                 reference_rollup,
             ],
         )
-        report = cpe.run(
-            self.parser.to_cas(document)
-            for document in collection.all_documents()
-        )
+        with get_tracer().span("offline.analyze") as span:
+            report = cpe.run(
+                self._parse_cases(collection)
+            )
+        metrics = get_registry()
+        metrics.inc("analysis.documents_processed",
+                    report.documents_processed)
+        metrics.inc("analysis.documents_failed", report.documents_failed)
+        span.set_attribute("documents", report.documents_processed)
         results = AnalysisResults(
             contacts=report.consumer_results["contact-rollup"],
             scopes=report.consumer_results["scope-aggregator"],
@@ -160,3 +166,11 @@ class InformationAnalysis:
             documents_failed=report.documents_failed,
         )
         return results
+
+    def _parse_cases(self, collection: WorkbookCollection):
+        """Parse each document to a CAS, timing the parse stage."""
+        metrics = get_registry()
+        for document in collection.all_documents():
+            with metrics.timer("analysis.parse_seconds"):
+                cas = self.parser.to_cas(document)
+            yield cas

@@ -39,6 +39,7 @@ from repro.corpus.generator import Corpus
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.docmodel.repository import WorkbookCollection
 from repro.intranet.directory import PersonnelDirectory
+from repro.obs import get_registry, get_tracer
 from repro.search.document import SearchHit
 from repro.search.engine import SearchEngine
 from repro.search.siapi import SiapiService
@@ -126,50 +127,54 @@ class EILSystem:
 
     def run_offline_pipeline(self) -> BuildReport:
         """Crawl, analyze and populate (Figure 2's offline half)."""
-        acquisition = DataAcquisition(self.engine)
-        crawl_report = acquisition.acquire(self.collection)
+        tracer = get_tracer()
+        with tracer.span("offline.pipeline"):
+            acquisition = DataAcquisition(self.engine)
+            crawl_report = acquisition.acquire(self.collection)
 
-        results = self._analysis.analyze(self.collection)
-        self.analysis_results = results
+            results = self._analysis.analyze(self.collection)
+            self.analysis_results = results
 
-        deal_ids = (
-            set(results.context)
-            | set(results.scopes)
-            | set(results.contacts)
-        )
-        for deal_id in sorted(deal_ids):
-            self.organized.store_deal_context(
-                deal_id, results.context.get(deal_id, {})
+            deal_ids = (
+                set(results.context)
+                | set(results.scopes)
+                | set(results.contacts)
             )
-            self.organized.store_scopes(
-                deal_id, results.scopes.get(deal_id, [])
-            )
-            self.organized.store_contacts(
-                deal_id, results.contacts.get(deal_id, [])
-            )
-            self.organized.store_win_strategies(
-                deal_id, results.strategies.get(deal_id, [])
-            )
-            self.organized.store_technologies(
-                deal_id, results.technologies.get(deal_id, [])
-            )
-            self.organized.store_client_references(
-                deal_id, results.references.get(deal_id, [])
-            )
+            with tracer.span("offline.populate", deals=len(deal_ids)):
+                for deal_id in sorted(deal_ids):
+                    self.organized.store_deal_context(
+                        deal_id, results.context.get(deal_id, {})
+                    )
+                    self.organized.store_scopes(
+                        deal_id, results.scopes.get(deal_id, [])
+                    )
+                    self.organized.store_contacts(
+                        deal_id, results.contacts.get(deal_id, [])
+                    )
+                    self.organized.store_win_strategies(
+                        deal_id, results.strategies.get(deal_id, [])
+                    )
+                    self.organized.store_technologies(
+                        deal_id, results.technologies.get(deal_id, [])
+                    )
+                    self.organized.store_client_references(
+                        deal_id, results.references.get(deal_id, [])
+                    )
 
-        self._search = BusinessActivityDrivenSearch(
-            organized=self.organized,
-            taxonomy=self.taxonomy,
-            siapi=self.siapi,
-            access=self.access,
-            repositories=self._repositories,
-        )
+            self._search = BusinessActivityDrivenSearch(
+                organized=self.organized,
+                taxonomy=self.taxonomy,
+                siapi=self.siapi,
+                access=self.access,
+                repositories=self._repositories,
+            )
         self.build_report = BuildReport(
             documents_indexed=crawl_report.indexed,
             documents_analyzed=results.documents_processed,
             documents_failed=results.documents_failed,
             deals_populated=len(deal_ids),
         )
+        get_registry().set_gauge("eil.deals_populated", len(deal_ids))
         return self.build_report
 
     # -- online API -------------------------------------------------------------
@@ -181,7 +186,8 @@ class EILSystem:
         limit: Optional[int] = None,
     ) -> EilResults:
         """Business-activity driven search (paper Figure 1)."""
-        return self._require_search().execute(form, user, limit)
+        with get_tracer().span("online.search"):
+            return self._require_search().execute(form, user, limit)
 
     def synopsis(self, deal_id: str, user: User = _DEFAULT_USER) -> DealSynopsis:
         """The deal synopsis view (paper Figure 6)."""
@@ -196,7 +202,8 @@ class EILSystem:
         This is the "business-agnostic search-box" EIL is evaluated
         against in Section 4 — no activity scoping, no synopsis.
         """
-        return self.engine.search(query, limit)
+        with get_tracer().span("online.keyword_search"):
+            return self.engine.search(query, limit)
 
     def keyword_count(self, query: str) -> int:
         """Number of documents a keyword query returns (Figure 4)."""

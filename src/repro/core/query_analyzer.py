@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.core.organized import OrganizedInformation
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.errors import QuerySyntaxError
+from repro.obs import get_registry, get_tracer
 from repro.search.siapi import SiapiQuery
 from repro.text.normalize import normalize_role
 
@@ -178,30 +179,40 @@ class SynopsisSearch:
             form.has_text_criteria() and form.search_in == "synopsis"
         ):
             return {}
+        metrics = get_registry()
+        metrics.inc("synopsis.queries")
         criteria_scores: List[Dict[str, float]] = []
         reasons: Dict[str, List[str]] = {}
+        tracer = get_tracer()
 
         def add(scores: Dict[str, float], label: str) -> None:
             criteria_scores.append(scores)
             for deal_id in scores:
                 reasons.setdefault(deal_id, []).append(label)
 
-        if form.tower.strip():
-            add(self._tower_scores(form.tower), f"tower={form.tower}")
-        if form.industry.strip():
-            add(self._field_scores("industry", form.industry),
-                f"industry={form.industry}")
-        if form.consultant.strip():
-            add(self._field_scores("consultant", form.consultant),
-                f"consultant={form.consultant}")
-        if form.geography.strip():
-            add(self._field_scores("geography", form.geography),
-                f"geography={form.geography}")
-        if form.person_name.strip() or form.organization.strip() or \
-                form.role.strip():
-            add(self._people_scores(form), "people")
-        if form.has_text_criteria() and form.search_in == "synopsis":
-            add(self._synopsis_text_scores(form), "synopsis-text")
+        with tracer.span("synopsis.sql"):
+            if form.tower.strip():
+                metrics.inc("synopsis.criterion.tower")
+                add(self._tower_scores(form.tower), f"tower={form.tower}")
+            if form.industry.strip():
+                metrics.inc("synopsis.criterion.industry")
+                add(self._field_scores("industry", form.industry),
+                    f"industry={form.industry}")
+            if form.consultant.strip():
+                metrics.inc("synopsis.criterion.consultant")
+                add(self._field_scores("consultant", form.consultant),
+                    f"consultant={form.consultant}")
+            if form.geography.strip():
+                metrics.inc("synopsis.criterion.geography")
+                add(self._field_scores("geography", form.geography),
+                    f"geography={form.geography}")
+            if form.person_name.strip() or form.organization.strip() or \
+                    form.role.strip():
+                metrics.inc("synopsis.criterion.people")
+                add(self._people_scores(form), "people")
+            if form.has_text_criteria() and form.search_in == "synopsis":
+                metrics.inc("synopsis.criterion.text")
+                add(self._synopsis_text_scores(form), "synopsis-text")
 
         if not criteria_scores:
             return {}

@@ -20,6 +20,7 @@ from repro.core.query_analyzer import FormQuery, SynopsisSearch
 from repro.core.ranking import RankCombiner, RankedActivity
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.errors import QuerySyntaxError
+from repro.obs import get_registry, get_tracer
 from repro.search.siapi import SiapiService
 from repro.security.access import AccessController, User
 
@@ -112,73 +113,97 @@ class BusinessActivityDrivenSearch:
         per_activity_documents: int = 5,
     ) -> EilResults:
         """Run one query for ``user``; see the module docstring."""
-        self.access.require_synopsis_access(user)
-        if form.is_empty():
-            raise QuerySyntaxError("the search form is empty")
-        plan: List[str] = []
+        tracer = get_tracer()
+        metrics = get_registry()
+        metrics.inc("query.executed")
+        with tracer.span("query.execute") as root:
+            self.access.require_synopsis_access(user)
+            if form.is_empty():
+                raise QuerySyntaxError("the search form is empty")
+            plan: List[str] = []
 
-        # Steps 1-3: decompose the form.
-        synopsis_matches = self.synopsis_search.execute(form)  # step 4
-        siapi_query = form.to_siapi_query()  # step 3
-        plan.append(
-            f"synopsis query matched {len(synopsis_matches)} activities"
-        )
-        if form.tower.strip() and self.taxonomy.canonical(form.tower) is None:
-            suggestions = self.taxonomy.suggest(form.tower)
+            # Steps 1-3: decompose the form.
+            with tracer.span("query.analyze"):
+                siapi_query = form.to_siapi_query()  # step 3
+                suggestions: List[str] = []
+                if form.tower.strip() and (
+                    self.taxonomy.canonical(form.tower) is None
+                ):
+                    suggestions = self.taxonomy.suggest(form.tower)
+            with tracer.span("query.synopsis"):  # steps 2, 4
+                synopsis_matches = self.synopsis_search.execute(form)
+            plan.append(
+                f"synopsis query matched {len(synopsis_matches)} activities"
+            )
             if suggestions:
                 plan.append(
                     f"unknown concept {form.tower!r}; did you mean: "
                     + ", ".join(suggestions)
                 )
+            metrics.observe("query.synopsis_matches", len(synopsis_matches))
 
-        scoped = False
-        siapi_groups = None
-        if synopsis_matches:  # step 5
-            if siapi_query is not None:  # step 7
-                # Step 8: scoped SIAPI execution.
-                scope = set(synopsis_matches)
-                siapi_groups = self.siapi.search_grouped(
-                    siapi_query, scope=scope,
-                    per_activity_limit=per_activity_documents,
-                )
-                scoped = True
-                plan.append(
-                    f"SIAPI query scoped to {len(scope)} activities, "
-                    f"{len(siapi_groups)} matched"
-                )
-                # Activities with no keyword hits drop out: both parts
-                # of the conjunctive query must hold (step 9).
-                synopsis_matches = {
-                    deal_id: match
-                    for deal_id, match in synopsis_matches.items()
-                    if any(
-                        g.activity_id == deal_id for g in siapi_groups
+            scoped = False
+            siapi_groups = None
+            if synopsis_matches:  # step 5
+                if siapi_query is not None:  # step 7
+                    # Step 8: scoped SIAPI execution.
+                    scope = set(synopsis_matches)
+                    with tracer.span("query.siapi", scoped=True) as span:
+                        siapi_groups = self.siapi.search_grouped(
+                            siapi_query, scope=scope,
+                            per_activity_limit=per_activity_documents,
+                        )
+                        span.set_attribute("scope", len(scope))
+                    scoped = True
+                    metrics.inc("query.siapi_scoped")
+                    plan.append(
+                        f"SIAPI query scoped to {len(scope)} activities, "
+                        f"{len(siapi_groups)} matched"
                     )
-                }
+                    # Activities with no keyword hits drop out: both parts
+                    # of the conjunctive query must hold (step 9).
+                    synopsis_matches = {
+                        deal_id: match
+                        for deal_id, match in synopsis_matches.items()
+                        if any(
+                            g.activity_id == deal_id for g in siapi_groups
+                        )
+                    }
+                else:
+                    plan.append("no SIAPI query; synopsis results stand")
             else:
-                plan.append("no SIAPI query; synopsis results stand")
-        else:
-            if siapi_query is not None:  # step 13
-                # Step 14: unscoped SIAPI execution.
-                siapi_groups = self.siapi.search_grouped(
-                    siapi_query,
-                    per_activity_limit=per_activity_documents,
-                )
-                plan.append(
-                    f"unscoped SIAPI query matched "
-                    f"{len(siapi_groups)} activities"
-                )
-            else:
-                plan.append("no criteria matched; empty result")
-                return EilResults(plan=plan)
+                if siapi_query is not None:  # step 13
+                    # Step 14: unscoped SIAPI execution.
+                    with tracer.span("query.siapi", scoped=False):
+                        siapi_groups = self.siapi.search_grouped(
+                            siapi_query,
+                            per_activity_limit=per_activity_documents,
+                        )
+                    metrics.inc("query.siapi_unscoped")
+                    plan.append(
+                        f"unscoped SIAPI query matched "
+                        f"{len(siapi_groups)} activities"
+                    )
+                else:
+                    plan.append("no criteria matched; empty result")
+                    metrics.inc("query.empty_results")
+                    return EilResults(plan=plan)
 
-        # Step 18: rank.
-        ranked = self.combiner.combine(synopsis_matches, siapi_groups)
-        if limit is not None:
-            ranked = ranked[:limit]
+            # Step 18: rank.
+            with tracer.span("query.rank"):
+                ranked = self.combiner.combine(
+                    synopsis_matches, siapi_groups
+                )
+                if limit is not None:
+                    ranked = ranked[:limit]
 
-        # Step 19: present under access control.
-        results = [self._present(activity, user) for activity in ranked]
+            # Step 19: present under access control.
+            with tracer.span("query.present"):
+                results = [
+                    self._present(activity, user) for activity in ranked
+                ]
+            metrics.observe("query.activities_returned", len(results))
+            root.set_attribute("activities", len(results))
         return EilResults(activities=results, scoped=scoped, plan=plan)
 
     def _present(
@@ -188,6 +213,10 @@ class BusinessActivityDrivenSearch:
         repository = self.repositories.get(activity.deal_id, "")
         may_read = self.access.can_read_documents(user, repository)
         documents = activity.hits if may_read else []
+        if activity.hits and not may_read:
+            get_registry().inc(
+                "access.documents_redacted", len(activity.hits)
+            )
         return ActivityResult(
             deal_id=activity.deal_id,
             name=str(deal_row.get("name") or activity.deal_id),

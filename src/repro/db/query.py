@@ -38,6 +38,7 @@ from repro.db.expr import (
 from repro.db.index import SortedIndex
 from repro.db.table import Table
 from repro.errors import ProgrammingError
+from repro.obs import get_registry
 
 __all__ = [
     "AggregateCall",
@@ -393,6 +394,9 @@ def execute_select(
                                statement.where, plan)
     rows = _contexts_for(base_table, statement.from_ref, rowids)
     seen_names = [statement.from_ref.name]
+    metrics = get_registry()
+    metrics.inc("db.selects")
+    rows_scanned = len(rows)
 
     # JOINs.
     for join in statement.joins:
@@ -400,6 +404,7 @@ def execute_select(
         right_rows = _contexts_for(
             right_table, join.ref, (rid for rid, _ in right_table.scan())
         )
+        rows_scanned += len(right_rows)
         keys = _equi_join_keys(join.on, seen_names, join.ref.name)
         joined: List[Dict[str, Any]] = []
         if keys is not None:
@@ -476,6 +481,8 @@ def execute_select(
     if statement.limit is not None:
         output_rows = output_rows[: statement.limit]
 
+    metrics.inc("db.rows_scanned", rows_scanned)
+    metrics.inc("db.rows_returned", len(output_rows))
     return ResultSet(column_names, output_rows, plan)
 
 

@@ -1,0 +1,85 @@
+"""Human-readable rendering of a metrics registry (``repro stats``).
+
+Groups the registry's contents into the shapes an operator scans for:
+per-stage latency histograms (the ``span.*`` namespace the tracer
+feeds), other distributions, counters, and gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = ["render_stats", "stats_dict"]
+
+_MS = 1000.0
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * _MS:9.2f}ms"
+
+
+def render_stats(registry: MetricsRegistry) -> str:
+    """The registry as an aligned text report."""
+    lines: List[str] = []
+    spans = {
+        name: histogram
+        for name, histogram in sorted(registry.histograms.items())
+        if name.startswith("span.")
+    }
+    if spans:
+        lines.append("stage timings (from spans)")
+        lines.append(
+            f"  {'stage':<34} {'calls':>7} {'total':>11} "
+            f"{'p50':>11} {'p95':>11} {'p99':>11}"
+        )
+        for name, histogram in spans.items():
+            summary = histogram.summary()
+            lines.append(
+                f"  {name[len('span.'):]:<34} {summary['count']:>7} "
+                f"{_fmt_ms(summary['sum'])} {_fmt_ms(summary['p50'])} "
+                f"{_fmt_ms(summary['p95'])} {_fmt_ms(summary['p99'])}"
+            )
+
+    others = {
+        name: histogram
+        for name, histogram in sorted(registry.histograms.items())
+        if not name.startswith("span.")
+    }
+    if others:
+        lines.append("")
+        lines.append("distributions")
+        lines.append(
+            f"  {'name':<34} {'count':>7} {'mean':>11} "
+            f"{'p50':>11} {'p95':>11} {'max':>11}"
+        )
+        for name, histogram in others.items():
+            summary = histogram.summary()
+            lines.append(
+                f"  {name:<34} {summary['count']:>7} "
+                f"{summary['mean']:>11.4g} {summary['p50']:>11.4g} "
+                f"{summary['p95']:>11.4g} {summary['max']:>11.4g}"
+            )
+
+    if registry.counters:
+        lines.append("")
+        lines.append("counters")
+        for name, counter in sorted(registry.counters.items()):
+            lines.append(f"  {name:<42} {counter.value:>12}")
+
+    if registry.gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name, gauge in sorted(registry.gauges.items()):
+            lines.append(f"  {name:<42} {gauge.value:>12g}")
+
+    if not lines:
+        lines.append("no metrics recorded")
+    return "\n".join(lines)
+
+
+def stats_dict(registry: MetricsRegistry, tracer: Tracer) -> Dict[str, Any]:
+    """Registry snapshot plus retained span trees, JSON-ready."""
+    return {"metrics": registry.snapshot(), "traces": tracer.export()}

@@ -1,0 +1,224 @@
+"""Hierarchical spans over monotonic clocks.
+
+A :class:`Span` is one timed region of a pipeline stage; spans nest,
+so one ``query.execute`` root span holds the ``query.synopsis`` /
+``query.siapi`` / ``query.rank`` children the paper's Figure 1 steps
+map to.  The :class:`Tracer` hands out spans as context managers and
+keeps the finished roots for export.
+
+Span durations are also recorded into the metrics registry as
+``span.<name>`` histograms, which is what aggregate per-stage latency
+reporting (``repro stats``, the latency benchmark) reads — the span
+tree itself is the per-request view.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed, attributable region of work.
+
+    Attributes:
+        name: Stage name (dotted, e.g. ``"query.siapi"``).
+        attributes: Arbitrary key/value annotations set at creation or
+            via :meth:`set_attribute`.
+        children: Sub-spans, in start order.
+    """
+
+    __slots__ = ("name", "attributes", "children", "parent",
+                 "_start", "_end")
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["Span"] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self._start = perf_counter()
+        self._end: Optional[float] = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one annotation to the span."""
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        """Stop the clock (idempotent)."""
+        if self._end is None:
+            self._end = perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` ran."""
+        return self._end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now while the span is still open)."""
+        end = self._end if self._end is not None else perf_counter()
+        return end - self._start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as plain dicts (for JSON export)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _ActiveSpan:
+    """Context manager binding a span to the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self.span)
+
+
+class _NullSpanContext:
+    """The disabled tracer's span: no clocks, no bookkeeping."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the annotation."""
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Produces nested spans and retains finished root spans.
+
+    Args:
+        registry: Metrics registry for ``span.<name>`` duration
+            histograms; mutually exclusive with ``registry_provider``.
+        registry_provider: Zero-arg callable resolving the registry at
+            record time — how the default tracer follows the global
+            default registry even after it is swapped.
+        max_roots: Finished root spans retained for export (oldest are
+            dropped first); per-stage aggregates live in the registry,
+            so the cap only bounds the per-request trace view.
+        enabled: When False, :meth:`span` returns a shared no-op
+            context manager.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        registry_provider: Optional[Callable[[], MetricsRegistry]] = None,
+        max_roots: int = 256,
+        enabled: bool = True,
+    ) -> None:
+        if registry is not None and registry_provider is not None:
+            raise ValueError("pass registry or registry_provider, not both")
+        self._registry = registry
+        self._registry_provider = registry_provider
+        self.max_roots = max_roots
+        self.enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    # -- span production ----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span as a context manager.
+
+        The span nests under the thread's currently open span; a span
+        with no parent becomes a root and is retained for export.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self.current()
+        span = Span(name, parent=parent, attributes=attributes)
+        if parent is not None:
+            parent.children.append(span)
+        self._stack().append(span)
+        return _ActiveSpan(self, span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        span.finish()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop it wherever it sits
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        registry = self._resolve_registry()
+        if registry is not None:
+            registry.observe(f"span.{span.name}", span.duration)
+        if span.parent is None:
+            with self._lock:
+                self._roots.append(span)
+                if len(self._roots) > self.max_roots:
+                    del self._roots[: len(self._roots) - self.max_roots]
+
+    def _resolve_registry(self) -> Optional[MetricsRegistry]:
+        if self._registry is not None:
+            return self._registry
+        if self._registry_provider is not None:
+            return self._registry_provider()
+        return None
+
+    # -- export -------------------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def export(self) -> List[Dict[str, Any]]:
+        """Every retained root span tree as plain dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON dump of :meth:`export`."""
+        return json.dumps(self.export(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop retained roots and this thread's open stack."""
+        with self._lock:
+            self._roots.clear()
+        self._local.stack = []

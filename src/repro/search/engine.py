@@ -10,9 +10,11 @@ selected by the synopsis query (paper Fig. 1, step 8).
 from __future__ import annotations
 
 import re
+from collections.abc import Set as AbstractSet
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.errors import SearchError
+from repro.obs import get_registry
 from repro.search.analyzer import Analyzer
 from repro.search.document import IndexableDocument, SearchHit
 from repro.search.inverted_index import InvertedIndex
@@ -29,7 +31,7 @@ from repro.search.scoring import Bm25Scorer, Scorer
 
 __all__ = ["SearchEngine"]
 
-DocFilter = Union[Set[str], Callable[[IndexableDocument], bool], None]
+DocFilter = Union[AbstractSet[str], Callable[[IndexableDocument], bool], None]
 
 
 class SearchEngine:
@@ -98,10 +100,12 @@ class SearchEngine:
         """
         if isinstance(query, str):
             query = parse_query(query)
+        metrics = get_registry()
+        metrics.inc("engine.searches")
         scores = self._match(query)
-        allowed = self._allowed_ids(doc_filter)
-        if allowed is not None:
-            scores = {d: s for d, s in scores.items() if d in allowed}
+        metrics.observe("engine.candidates", len(scores))
+        scores = self._apply_doc_filter(scores, doc_filter)
+        metrics.observe("engine.candidates_after_filter", len(scores))
         ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
         if limit is not None:
             ranked = ranked[:limit]
@@ -123,22 +127,38 @@ class SearchEngine:
         """Number of documents matching ``query`` (no ranking work)."""
         if isinstance(query, str):
             query = parse_query(query)
-        matched = set(self._match(query))
-        allowed = self._allowed_ids(doc_filter)
-        if allowed is not None:
-            matched &= allowed
-        return len(matched)
+        get_registry().inc("engine.counts")
+        return len(self._apply_doc_filter(self._match(query), doc_filter))
 
-    def _allowed_ids(self, doc_filter: DocFilter) -> Optional[Set[str]]:
+    def _apply_doc_filter(
+        self, scores: Dict[str, float], doc_filter: DocFilter
+    ) -> Dict[str, float]:
+        """Restrict matches to the filter's documents.
+
+        Any :class:`collections.abc.Set` (``set``, ``frozenset``, dict
+        key views, ...) is treated as an id set; otherwise the filter
+        is a predicate over stored documents, applied only to the
+        already-matched candidates — never materialized over the whole
+        corpus.
+        """
         if doc_filter is None:
-            return None
-        if isinstance(doc_filter, set):
-            return doc_filter
-        return {
-            doc_id
-            for doc_id in self.index.doc_ids
-            if doc_filter(self.index.document(doc_id))
-        }
+            return scores
+        if isinstance(doc_filter, AbstractSet):
+            return {
+                doc_id: score
+                for doc_id, score in scores.items()
+                if doc_id in doc_filter
+            }
+        if callable(doc_filter):
+            return {
+                doc_id: score
+                for doc_id, score in scores.items()
+                if doc_filter(self.index.document(doc_id))
+            }
+        raise SearchError(
+            f"doc_filter must be a set of ids or a predicate, "
+            f"got {type(doc_filter).__name__}"
+        )
 
     # -- query interpretation ----------------------------------------------
 
@@ -178,10 +198,13 @@ class SearchEngine:
     def _score_term(self, term: str, field: Optional[str]) -> Dict[str, float]:
         scores: Dict[str, float] = {}
         fields = [field] if field is not None else self.index.fields
+        metrics = get_registry()
+        metrics.inc("engine.terms_scored")
         for field_name in fields:
             boost = self.field_boosts.get(field_name, 1.0)
             matching = self.index.matching_docs(term, field_name)
             df = len(matching)  # computed once per (term, field)
+            metrics.inc("engine.postings_touched", df)
             for doc_id in matching:
                 contribution = self.scorer.score(
                     self.index, term, doc_id, field_name, df=df

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.errors import SearchError
+from repro.obs import get_registry
 from repro.search.analyzer import Analyzer
 from repro.search.document import IndexableDocument
 
@@ -32,6 +33,9 @@ class InvertedIndex:
         # queries quadratic in corpus size.
         self._field_token_totals: Dict[str, int] = {}
         self._token_total = 0
+        # doc_id -> field -> distinct terms, so removal only touches the
+        # document's own postings instead of the whole field vocabulary.
+        self._doc_terms: Dict[str, Dict[str, Set[str]]] = {}
 
     # -- mutation -----------------------------------------------------------
 
@@ -40,13 +44,16 @@ class InvertedIndex:
         if document.doc_id in self._documents:
             raise SearchError(f"document {document.doc_id!r} already indexed")
         self._documents[document.doc_id] = document
+        doc_terms = self._doc_terms.setdefault(document.doc_id, {})
         for field_name, text in document.fields.items():
             terms = self.analyzer.analyze(text)
             field_postings = self._postings.setdefault(field_name, {})
+            field_terms = doc_terms.setdefault(field_name, set())
             for analyzed in terms:
                 field_postings.setdefault(analyzed.term, {}).setdefault(
                     document.doc_id, []
                 ).append(analyzed.position)
+                field_terms.add(analyzed.term)
             self._field_lengths.setdefault(field_name, {})[
                 document.doc_id
             ] = len(terms)
@@ -56,26 +63,43 @@ class InvertedIndex:
             self._token_total += len(terms)
 
     def remove(self, doc_id: str) -> IndexableDocument:
-        """Remove a document from the index and return it."""
+        """Remove a document from the index and return it.
+
+        O(document's own terms) via the reverse map, not O(field
+        vocabulary): continuous offboarding (``EILSystem.remove_deal``)
+        must not rescan every posting list per document.
+        """
         document = self._documents.pop(doc_id, None)
         if document is None:
             raise SearchError(f"document {doc_id!r} not indexed")
+        doc_terms = self._doc_terms.pop(doc_id, {})
+        terms_touched = 0
         for field_name in document.fields:
             field_postings = self._postings.get(field_name, {})
-            empty_terms = []
-            for term, docs in field_postings.items():
+            for term in doc_terms.get(field_name, ()):
+                docs = field_postings.get(term)
+                if docs is None:
+                    continue
+                terms_touched += 1
                 docs.pop(doc_id, None)
                 if not docs:
-                    empty_terms.append(term)
-            for term in empty_terms:
-                del field_postings[term]
+                    del field_postings[term]
+            if not field_postings and field_name in self._postings:
+                del self._postings[field_name]
             lengths = self._field_lengths.get(field_name)
             if lengths is not None:
                 length = lengths.pop(doc_id, 0)
-                self._field_token_totals[field_name] = (
-                    self._field_token_totals.get(field_name, 0) - length
-                )
+                if not lengths:
+                    del self._field_lengths[field_name]
+                    self._field_token_totals.pop(field_name, None)
+                else:
+                    self._field_token_totals[field_name] = (
+                        self._field_token_totals.get(field_name, 0) - length
+                    )
                 self._token_total -= length
+        metrics = get_registry()
+        metrics.inc("index.removals")
+        metrics.observe("index.remove_terms_touched", terms_touched)
         return document
 
     # -- lookup ---------------------------------------------------------------
@@ -192,15 +216,25 @@ class InvertedIndex:
         )
 
     def average_length(self, field: Optional[str] = None) -> float:
-        """Average field length (or average total document length)."""
+        """Average field length (or average total document length).
+
+        The per-field average divides by the number of documents that
+        *have* the field, not the corpus size — a corpus-wide
+        denominator deflates avgdl for sparse fields and skews BM25
+        length normalization toward long field instances.
+        """
         if not self._documents:
             return 0.0
         if field is not None:
-            return (
-                self._field_token_totals.get(field, 0)
-                / len(self._documents)
-            )
+            lengths = self._field_lengths.get(field)
+            if not lengths:
+                return 0.0
+            return self._field_token_totals.get(field, 0) / len(lengths)
         return self._token_total / len(self._documents)
+
+    def field_document_count(self, field: str) -> int:
+        """Number of documents that have ``field``."""
+        return len(self._field_lengths.get(field, {}))
 
     def vocabulary(self, field: Optional[str] = None) -> Set[str]:
         """All distinct index terms (optionally restricted to a field)."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import QuerySyntaxError
+from repro.obs import get_registry
 from repro.search.document import SearchHit
 from repro.search.engine import SearchEngine
 from repro.search.querylang import (
@@ -158,6 +159,8 @@ class SiapiService:
         activity; activities sort by that average.
         """
         hits = self.search(query, scope)
+        metrics = get_registry()
+        metrics.observe("siapi.hits", len(hits))
         if not hits:
             return []
         best = max(hit.score for hit in hits) or 1.0
@@ -179,4 +182,5 @@ class SiapiService:
                 )
             )
         results.sort(key=lambda a: (-a.score, a.activity_id))
+        metrics.observe("siapi.activities_matched", len(results))
         return results

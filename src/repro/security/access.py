@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Set
 
 from repro.errors import AccessDeniedError
+from repro.obs import get_registry
 
 __all__ = ["User", "AccessController", "ANONYMOUS"]
 
@@ -96,6 +97,14 @@ class AccessController:
 
     def can_read_documents(self, user: User, repository: str) -> bool:
         """May ``user`` read the repository's raw documents?"""
+        allowed = self._can_read_documents(user, repository)
+        metrics = get_registry()
+        metrics.inc("access.document_checks")
+        if not allowed:
+            metrics.inc("access.document_denials")
+        return allowed
+
+    def _can_read_documents(self, user: User, repository: str) -> bool:
         if user.has_role("admin"):
             return True
         if repository in self._public:
@@ -114,6 +123,7 @@ class AccessController:
     def require_synopsis_access(self, user: User) -> None:
         """Raise AccessDeniedError when synopses are off-limits."""
         if not self.can_read_synopsis(user):
+            get_registry().inc("access.synopsis_denials")
             raise AccessDeniedError(
                 f"user {user.user_id!r} may not read synopses"
             )

@@ -12,9 +12,11 @@ happens.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable, List, Sequence
 
 from repro.errors import AnnotatorError
+from repro.obs import get_registry, get_tracer
 from repro.uima.cas import Cas
 from repro.uima.engine import AnalysisEngine
 
@@ -76,20 +78,29 @@ class CollectionProcessingEngine:
     def run(self, collection: Iterable[Cas]) -> CpeReport:
         """Process every CAS; returns the collection-level report."""
         report = CpeReport()
-        for cas in collection:
-            try:
-                self.engine.run(cas)
-            except AnnotatorError as exc:
-                report.documents_failed += 1
-                report.failures.append(str(exc))
-                if not self.continue_on_error:
-                    raise
-                continue
-            report.documents_processed += 1
-            for consumer in self.consumers:
-                consumer.process_cas(cas)
-        for consumer in self.consumers:
-            report.consumer_results[consumer.name] = (
-                consumer.collection_process_complete()
-            )
+        metrics = get_registry()
+        with get_tracer().span("cpe.run"):
+            for cas in collection:
+                started = perf_counter()
+                try:
+                    self.engine.run(cas)
+                except AnnotatorError as exc:
+                    report.documents_failed += 1
+                    report.failures.append(str(exc))
+                    metrics.inc("cpe.documents_failed")
+                    if not self.continue_on_error:
+                        raise
+                    continue
+                report.documents_processed += 1
+                metrics.inc("cpe.documents_processed")
+                metrics.observe(
+                    "cpe.document_seconds", perf_counter() - started
+                )
+                for consumer in self.consumers:
+                    consumer.process_cas(cas)
+            with get_tracer().span("cpe.consumers_complete"):
+                for consumer in self.consumers:
+                    report.consumer_results[consumer.name] = (
+                        consumer.collection_process_complete()
+                    )
         return report

@@ -9,9 +9,11 @@ per-delegate flow control (skip predicates).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import AnnotatorError
+from repro.obs import get_registry
 from repro.uima.cas import Cas
 from repro.uima.typesystem import TypeSystem
 
@@ -52,17 +54,31 @@ class AnalysisEngine:
         raise NotImplementedError
 
     def run(self, cas: Cas) -> EngineResult:
-        """Process with bookkeeping; wraps errors with the engine name."""
+        """Process with bookkeeping; wraps errors with the engine name.
+
+        Per-annotator wall time and annotation counts are recorded as
+        ``annotator.<name>.seconds`` / ``.annotations`` — the Table 1
+        cost breakdown the offline pipeline is steered by.
+        """
         before = len(cas)
+        started = perf_counter()
         try:
             self.process(cas)
         except AnnotatorError:
+            get_registry().inc(f"annotator.{self.name}.failures")
             raise
         except Exception as exc:
+            get_registry().inc(f"annotator.{self.name}.failures")
             raise AnnotatorError(
                 f"engine {self.name!r} failed: {exc}"
             ) from exc
-        return EngineResult(self.name, annotations_added=len(cas) - before)
+        added = len(cas) - before
+        metrics = get_registry()
+        metrics.observe(
+            f"annotator.{self.name}.seconds", perf_counter() - started
+        )
+        metrics.inc(f"annotator.{self.name}.annotations", max(0, added))
+        return EngineResult(self.name, annotations_added=added)
 
 
 FlowPredicate = Callable[[Cas], bool]

@@ -1,0 +1,132 @@
+"""Unit tests for spans and the tracer."""
+
+import json
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child-1"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-2"):
+                pass
+        roots = tracer.roots
+        assert [root.name for root in roots] == ["root"]
+        root = roots[0]
+        assert [child.name for child in root.children] == [
+            "child-1", "child-2"
+        ]
+        assert root.children[0].children[0].name == "grandchild"
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        root = tracer.roots[0]
+        child = root.children[0]
+        assert root.finished and child.finished
+        assert root.duration >= child.duration >= 0.0
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+
+class TestAttributesAndExport:
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("stage", size=3) as span:
+            span.set_attribute("hits", 7)
+        exported = tracer.export()
+        assert exported[0]["attributes"] == {"size": 3, "hits": 7}
+
+    def test_export_to_json(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        parsed = json.loads(tracer.to_json())
+        assert parsed[0]["name"] == "a"
+        assert parsed[0]["children"][0]["name"] == "b"
+        assert parsed[0]["duration_s"] >= 0.0
+
+    def test_max_roots_drops_oldest(self):
+        tracer = Tracer(max_roots=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [root.name for root in tracer.roots] == ["b", "c"]
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestRegistryIntegration:
+    def test_span_durations_recorded_as_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("stage"):
+            pass
+        histogram = registry.histogram("span.stage")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.0
+
+    def test_registry_provider_follows_global(self):
+        tracer = Tracer(registry_provider=obs.get_registry)
+        with obs.use_registry() as registry:
+            with tracer.span("stage"):
+                pass
+            assert registry.histogram("span.stage").count == 1
+
+    def test_disabled_tracer_is_noop(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, enabled=False)
+        with tracer.span("stage") as span:
+            span.set_attribute("ignored", 1)
+        assert tracer.roots == []
+        assert registry.names() == []
+
+
+class TestPipelineSpans:
+    def test_eil_build_and_query_produce_stage_timings(self):
+        from repro import CorpusConfig, CorpusGenerator, EILSystem
+        from repro.core.metaqueries import scope_query
+        from repro.security.access import User
+
+        with obs.use_registry() as registry, obs.use_tracer():
+            corpus = CorpusGenerator(
+                CorpusConfig(seed=11, n_deals=3, docs_per_deal=15)
+            ).generate()
+            eil = EILSystem.build(corpus)
+            eil.search(scope_query("End User Services"),
+                       User("t", frozenset({"sales"})))
+            histograms = registry.histograms
+            for stage in ("span.offline.pipeline", "span.offline.acquire",
+                          "span.offline.analyze", "span.cpe.run",
+                          "span.query.execute", "span.query.synopsis"):
+                assert stage in histograms, stage
+                assert histograms[stage].sum > 0.0

@@ -85,6 +85,18 @@ class TestMatching:
     def test_count_matches_search_length(self, engine):
         assert engine.count("services") == len(engine.search("services"))
 
+    def test_negation_inside_or(self, engine):
+        # "-services" contributes the complement {c}; "replication"
+        # contributes {b}.  The union keeps both.
+        ids = {h.doc_id for h in engine.search("replication OR -services")}
+        assert ids == {"b", "c"}
+
+    def test_phrase_with_field_restriction(self, engine):
+        hits = engine.search('title:"end user services"')
+        assert [h.doc_id for h in hits] == ["a"]
+        # The same phrase never occurs inside a body field.
+        assert engine.count('body:"end user services"') == 0
+
 
 class TestRanking:
     def test_scores_descending(self, engine):
@@ -146,6 +158,35 @@ class TestFiltering:
     def test_count_respects_filter(self, engine):
         assert engine.count("services", doc_filter={"a"}) == 1
 
+    def test_doc_filter_by_frozenset(self, engine):
+        # Regression: the seed only recognised the concrete ``set``
+        # type and crashed trying to call a frozenset as a predicate.
+        hits = engine.search("services", doc_filter=frozenset({"a", "d"}))
+        assert {h.doc_id for h in hits} == {"a", "d"}
+
+    def test_doc_filter_by_dict_key_view(self, engine):
+        # Any collections.abc.Set works, including dict key views.
+        allowed = {"b": None, "d": None}
+        hits = engine.search("services", doc_filter=allowed.keys())
+        assert {h.doc_id for h in hits} == {"b", "d"}
+
+    def test_predicate_filter_sees_only_candidates(self, engine):
+        # Regression: the seed materialised the predicate over the whole
+        # corpus; it must run only against already-matched candidates.
+        seen = []
+
+        def predicate(document):
+            seen.append(document.doc_id)
+            return True
+
+        hits = engine.search("replication", doc_filter=predicate)
+        assert [h.doc_id for h in hits] == ["b"]
+        assert seen == ["b"]  # never called for a, c, d
+
+    def test_invalid_doc_filter_raises(self, engine):
+        with pytest.raises(SearchError):
+            engine.search("services", doc_filter=42)
+
 
 class TestSnippets:
     def test_snippet_contains_match(self, engine):
@@ -155,6 +196,16 @@ class TestSnippets:
     def test_snippet_fallback_for_negation_only(self, engine):
         hit = engine.search("-zeppelin")[0]
         assert hit.snippet  # leading text used as fallback
+
+    def test_snippet_fallback_when_surface_not_in_text(self, engine):
+        # Stemming matches "scheduling" against "schedules", but the
+        # query surface never occurs verbatim, so the snippet falls
+        # back to the document's leading text instead of crashing or
+        # returning an empty string.
+        hits = engine.search("scheduling")
+        assert [h.doc_id for h in hits] == ["d"]
+        assert hits[0].snippet
+        assert "scheduling" not in hits[0].snippet.lower()
 
 
 class TestLifecycle:

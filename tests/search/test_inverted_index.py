@@ -104,6 +104,57 @@ class TestStatistics:
         assert index.document_frequency("x") == 0
 
 
+class TestRemoveBookkeeping:
+    """Regression: ``remove`` must restore all statistics exactly and
+    touch only the removed document's own terms (the seed scanned the
+    whole vocabulary).
+    """
+
+    def _stats(self, index):
+        return {
+            "len": len(index),
+            "fields": index.fields,
+            "vocab": {f: index.vocabulary(f) for f in index.fields},
+            "avg": {f: index.average_length(f) for f in index.fields},
+            "field_docs": {
+                f: index.field_document_count(f) for f in index.fields
+            },
+        }
+
+    def test_add_remove_restores_exact_statistics(self):
+        index = make_index()
+        baseline = self._stats(index)
+        index.add(IndexableDocument(
+            "extra",
+            {"title": "alpha services", "body": "beta beta gamma",
+             "notes": "only this doc has notes"},
+        ))
+        index.remove("extra")
+        assert self._stats(index) == baseline
+
+    def test_remove_drops_field_owned_by_single_doc(self):
+        index = make_index()
+        index.add(IndexableDocument("solo", {"appendix": "alpha beta"}))
+        assert "appendix" in index.fields
+        index.remove("solo")
+        assert "appendix" not in index.fields
+        assert index.average_length("appendix") == 0.0
+
+    def test_remove_touches_only_own_terms(self):
+        from repro import obs
+
+        index = make_index()
+        index.add(IndexableDocument("extra", {"body": "alpha beta alpha"}))
+        with obs.use_registry() as registry:
+            index.remove("extra")
+            # Two distinct (field, term) postings — not a scan over the
+            # whole vocabulary (which holds many more terms).
+            histogram = registry.histograms["index.remove_terms_touched"]
+            assert histogram.count == 1
+            assert histogram.max == 2
+            assert histogram.max < len(index.vocabulary())
+
+
 class TestProperties:
     words = st.lists(
         st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),

@@ -70,6 +70,46 @@ class TestBm25:
         assert Bm25Scorer().score(empty, "x", "y") == 0.0
 
 
+class TestSparseFieldAverageLength:
+    """Regression: ``average_length(field)`` must divide by the number
+    of documents that *have* the field, not the total document count.
+    The old denominator deflated avgdl for sparse fields, inflating the
+    BM25 length penalty for every document that carries the field.
+    """
+
+    @pytest.fixture
+    def sparse(self):
+        idx = InvertedIndex(Analyzer(use_stemming=False, use_stopwords=False))
+        idx.add(IndexableDocument("t1", {"title": "alpha", "body": "x"}))
+        idx.add(IndexableDocument(
+            "t2", {"title": "alpha beta gamma", "body": "y"}))
+        idx.add(IndexableDocument("nb", {"body": "z"}))  # no title
+        return idx
+
+    def test_average_length_counts_only_docs_with_field(self, sparse):
+        # Two docs have a title, totalling 1 + 3 = 4 tokens.  The seed
+        # divided by all three docs (4/3 ~ 1.33); correct is 4/2 = 2.0.
+        assert sparse.average_length("title") == 2.0
+        assert sparse.field_document_count("title") == 2
+        assert sparse.field_document_count("body") == 3
+
+    def test_bm25_scores_with_corrected_avgdl(self, sparse):
+        # Pinned against the closed form with avgdl=2.0, N=3, df=2:
+        #   idf = ln(1 + (3 - 2 + 0.5) / (2 + 0.5))
+        #   score = idf * tf*(k1+1) / (tf + k1*(1 - b + b*dl/avgdl))
+        # The seed's deflated avgdl (4/3) gave 0.5235... for t1.
+        scorer = Bm25Scorer()
+        assert scorer.score(sparse, "alpha", "t1", "title") == pytest.approx(
+            0.5908617053374963
+        )
+        assert scorer.score(sparse, "alpha", "t2", "title") == pytest.approx(
+            0.3901916922040070
+        )
+
+    def test_missing_field_average_is_zero(self, sparse):
+        assert sparse.average_length("ghost") == 0.0
+
+
 class TestTfidf:
     def test_absent_term_scores_zero(self, index):
         assert TfidfScorer().score(index, "ghost", "short") == 0.0
