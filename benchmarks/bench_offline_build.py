@@ -1,0 +1,224 @@
+"""Offline build + query cache bench: ``BENCH_offline_build.json``.
+
+Measures the two tentpole paths of the parallel-build/caching PR:
+
+* **offline** — wall-clock for the full offline pipeline (crawl +
+  parse/annotate + populate) serial vs. ``--workers N``, asserting the
+  two builds produce identical ``AnalysisResults``.  The parse+annotate
+  stage fans across a thread pool; on a single-core host the recorded
+  speedup hovers around 1.0x (Python's GIL serializes the CPU-bound
+  annotators) — the number is recorded honestly either way, and the
+  determinism guarantee is what the suite enforces.
+* **online** — cold vs. warm latency for the business-activity driven
+  search and the keyword baseline: the first execution of each query
+  misses the LRU cache, every repeat hits it.
+
+Run standalone (CI smoke uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_offline_build.py [--smoke]
+
+or under pytest, where it asserts the JSON is well-formed::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_offline_build.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, obs
+from repro.core.metaqueries import (
+    role_capacity_query,
+    scope_query,
+    service_keyword_query,
+    worked_with_query,
+)
+from repro.security.access import User
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_offline_build.json"
+)
+_USER = User("bench", frozenset({"sales"}))
+
+
+def _time_build(corpus, workers: int) -> Dict[str, object]:
+    started = time.perf_counter()
+    eil = EILSystem.build(corpus, workers=workers)
+    elapsed = time.perf_counter() - started
+    return {"eil": eil, "seconds": elapsed}
+
+
+def _query_forms(corpus):
+    member = corpus.deals[0].team[0]
+    return [
+        ("concept", scope_query("End User Services")),
+        ("people", worked_with_query(member.person.full_name)),
+        ("role", role_capacity_query("cross tower TSA")),
+        ("hybrid", service_keyword_query("Storage Management Services",
+                                         "data replication")),
+    ]
+
+
+def _cold_warm(eil: EILSystem, corpus, warm_rounds: int):
+    """Per query class: one cold (miss) sample, ``warm_rounds`` hits."""
+    cold: Dict[str, float] = {}
+    warm: Dict[str, List[float]] = {}
+    for name, form in _query_forms(corpus):
+        started = time.perf_counter()
+        eil.search(form, _USER)
+        cold[name] = time.perf_counter() - started
+        samples = []
+        for _ in range(warm_rounds):
+            started = time.perf_counter()
+            eil.search(form, _USER)
+            samples.append(time.perf_counter() - started)
+        warm[name] = samples
+    started = time.perf_counter()
+    eil.keyword_search("end user services")
+    cold["keyword_baseline"] = time.perf_counter() - started
+    samples = []
+    for _ in range(warm_rounds):
+        started = time.perf_counter()
+        eil.keyword_search("end user services")
+        samples.append(time.perf_counter() - started)
+    warm["keyword_baseline"] = samples
+    return cold, warm
+
+
+def run_bench(
+    deals: int = 10,
+    docs: int = 32,
+    workers: int = 4,
+    warm_rounds: int = 20,
+    seed: int = 2008,
+    out_path: pathlib.Path = DEFAULT_OUT,
+) -> Dict[str, object]:
+    """Build serial + parallel, measure cache latency, write the JSON."""
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        corpus = CorpusGenerator(
+            CorpusConfig(seed=seed, n_deals=deals, docs_per_deal=docs)
+        ).generate()
+        serial = _time_build(corpus, workers=1)
+        parallel = _time_build(corpus, workers=workers)
+        identical = (
+            serial["eil"].analysis_results
+            == parallel["eil"].analysis_results
+        )
+        cold, warm = _cold_warm(parallel["eil"], corpus, warm_rounds)
+
+    serial_s = serial["seconds"]
+    parallel_s = parallel["seconds"]
+    cold_mean = sum(cold.values()) / len(cold)
+    warm_all = [s for samples in warm.values() for s in samples]
+    warm_mean = sum(warm_all) / len(warm_all)
+    hits = registry.counters.get("query.cache.hits")
+    misses = registry.counters.get("query.cache.misses")
+    report: Dict[str, object] = {
+        "bench": "offline_build",
+        "schema_version": 1,
+        "created_unix": time.time(),
+        "corpus": {
+            "seed": seed,
+            "deals": deals,
+            "docs_per_deal": docs,
+            "documents_indexed":
+                serial["eil"].build_report.documents_indexed,
+        },
+        "offline": {
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+            "results_identical": identical,
+        },
+        "online": {
+            "warm_rounds": warm_rounds,
+            "cold_mean_ms": cold_mean * 1000.0,
+            "warm_mean_ms": warm_mean * 1000.0,
+            "cold_over_warm": (
+                cold_mean / warm_mean if warm_mean else 0.0
+            ),
+            "cold_ms_per_class": {
+                name: seconds * 1000.0 for name, seconds in cold.items()
+            },
+            "warm_mean_ms_per_class": {
+                name: sum(samples) / len(samples) * 1000.0
+                for name, samples in warm.items()
+            },
+            "cache": {
+                "hits": hits.value if hits else 0,
+                "misses": misses.value if misses else 0,
+            },
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_offline_build(report_writer):
+    """Pytest entry: run a small bench and sanity-check the JSON."""
+    report = run_bench(deals=4, docs=14, workers=2, warm_rounds=5)
+    offline = report["offline"]
+    online = report["online"]
+    assert offline["results_identical"] is True
+    assert offline["serial_seconds"] > 0
+    assert offline["parallel_seconds"] > 0
+    assert online["cache"]["hits"] > 0
+    assert DEFAULT_OUT.exists()
+    parsed = json.loads(DEFAULT_OUT.read_text())
+    assert parsed["bench"] == "offline_build"
+    lines = [
+        "E14: parallel offline build + query cache",
+        f"serial build {offline['serial_seconds']:.2f}s, "
+        f"{offline['workers']}-worker build "
+        f"{offline['parallel_seconds']:.2f}s "
+        f"(speedup {offline['speedup']:.2f}x, identical results: "
+        f"{offline['results_identical']})",
+        f"query cold {online['cold_mean_ms']:.2f}ms vs warm "
+        f"{online['warm_mean_ms']:.3f}ms "
+        f"({online['cold_over_warm']:.0f}x; "
+        f"{online['cache']['hits']} hits / "
+        f"{online['cache']['misses']} misses)",
+    ]
+    report_writer("E14_offline_build", "\n".join(lines))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--deals", type=int, default=10)
+    parser.add_argument("--docs", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--warm-rounds", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus + few rounds (CI smoke)")
+    args = parser.parse_args()
+    if args.smoke:
+        args.deals, args.docs, args.warm_rounds = 4, 14, 5
+        args.workers = min(args.workers, 2)
+    report = run_bench(args.deals, args.docs, args.workers,
+                       args.warm_rounds, args.seed, args.out)
+    offline = report["offline"]
+    online = report["online"]
+    print(f"wrote {args.out}")
+    print(f"serial build    : {offline['serial_seconds']:.2f}s")
+    print(f"{offline['workers']}-worker build  : "
+          f"{offline['parallel_seconds']:.2f}s "
+          f"(speedup {offline['speedup']:.2f}x)")
+    print(f"results identical: {offline['results_identical']}")
+    print(f"query cold mean : {online['cold_mean_ms']:.2f}ms")
+    print(f"query warm mean : {online['warm_mean_ms']:.3f}ms "
+          f"({online['cold_over_warm']:.0f}x faster; "
+          f"{online['cache']['hits']} hits, "
+          f"{online['cache']['misses']} misses)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Bounded LRU caching for the online query paths.
+
+Production EIL answers the same queries over and over — the paper's
+community of practice shares a small vocabulary of towers, roles and
+technologies — so both online entry points
+(:meth:`~repro.core.search.BusinessActivityDrivenSearch.execute` and
+:meth:`~repro.search.engine.SearchEngine.search`) sit behind an
+:class:`LruCache`.  Correctness is epoch-based: cache keys embed an
+index/policy epoch that incremental maintenance bumps, so stale entries
+die by key mismatch rather than by explicit eviction.
+
+Each cache is obs-instrumented: ``<name>.hits`` / ``<name>.misses`` /
+``<name>.evictions`` counters and a ``<name>.size`` gauge land in the
+ambient :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.obs import get_registry
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """A thread-safe, bounded, least-recently-used mapping.
+
+    Args:
+        name: Metrics prefix (``<name>.hits`` etc.).
+        max_entries: Capacity; ``0`` disables the cache entirely (every
+            ``get`` misses, ``put`` is a no-op) — the knob benchmarks
+            use to measure cold-path latency.
+
+    Cached values must not be ``None`` (``None`` signals a miss); they
+    are returned by reference, so callers that hand out mutable results
+    should copy on the way out.
+    """
+
+    def __init__(self, name: str, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"cache {name!r} capacity must be >= 0, got {max_entries}"
+            )
+        self.name = name
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None``; refreshes LRU order on hit."""
+        metrics = get_registry()
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+        if value is None:
+            metrics.inc(f"{self.name}.misses")
+            return None
+        metrics.inc(f"{self.name}.hits")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting least-recently-used past capacity."""
+        if value is None:
+            raise ValueError(f"cache {self.name!r} cannot store None")
+        if self.max_entries == 0:
+            return
+        metrics = get_registry()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            metrics.inc(f"{self.name}.evictions", evicted)
+        metrics.set_gauge(f"{self.name}.size", size)
+
+    def clear(self) -> None:
+        """Drop every entry (capacity and counters are untouched)."""
+        with self._lock:
+            self._entries.clear()
+        get_registry().set_gauge(f"{self.name}.size", 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

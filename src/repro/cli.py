@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of deals to generate (default: 8)")
     parser.add_argument("--docs", type=int, default=30,
                         help="documents per deal (default: 30)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads for the offline "
+                             "parse+annotate stage (default: 1, serial; "
+                             "any width yields identical results)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="run the four meta-queries")
@@ -108,7 +112,7 @@ def _make_system(args: argparse.Namespace) -> tuple:
         CorpusConfig(seed=args.seed, n_deals=args.deals,
                      docs_per_deal=args.docs)
     ).generate()
-    return corpus, EILSystem.build(corpus)
+    return corpus, EILSystem.build(corpus, workers=args.workers)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

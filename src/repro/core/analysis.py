@@ -99,8 +99,19 @@ class InformationAnalysis:
         self.pipeline = build_eil_pipeline(taxonomy, strategy_classifier)
         self.pipeline.initialize_types(self.type_system)
 
-    def analyze(self, collection: WorkbookCollection) -> AnalysisResults:
-        """Parse + annotate + aggregate one collection."""
+    def analyze(
+        self, collection: WorkbookCollection, workers: int = 1
+    ) -> AnalysisResults:
+        """Parse + annotate + aggregate one collection.
+
+        Args:
+            collection: The workbooks to analyze.
+            workers: Thread-pool width for the parse+annotate stage.
+                The default (1) runs strictly serially; any value
+                produces identical :class:`AnalysisResults` because the
+                CPE merges worker output in stable document order
+                before the collection-level consumers run.
+        """
         contact_rollup = ContactRollup(self.directory)
         scope_aggregator = ScopeAggregator(self.scope_min_weight)
         context_rollup = FeatureRollup(
@@ -126,9 +137,11 @@ class InformationAnalysis:
                 reference_rollup,
             ],
         )
-        with get_tracer().span("offline.analyze") as span:
+        with get_tracer().span("offline.analyze", workers=workers) as span:
             report = cpe.run(
-                self._parse_cases(collection)
+                collection.all_documents(),
+                prepare=self._parse_one,
+                workers=workers,
             )
         metrics = get_registry()
         metrics.inc("analysis.documents_processed",
@@ -167,10 +180,11 @@ class InformationAnalysis:
         )
         return results
 
-    def _parse_cases(self, collection: WorkbookCollection):
-        """Parse each document to a CAS, timing the parse stage."""
-        metrics = get_registry()
-        for document in collection.all_documents():
-            with metrics.timer("analysis.parse_seconds"):
-                cas = self.parser.to_cas(document)
-            yield cas
+    def _parse_one(self, document) -> Cas:
+        """Parse one document to a CAS, timing the parse stage.
+
+        Runs inside the CPE's worker pool when ``workers > 1``, so the
+        parse stage fans out together with annotation.
+        """
+        with get_registry().timer("analysis.parse_seconds"):
+            return self.parser.to_cas(document)

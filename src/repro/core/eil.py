@@ -79,13 +79,21 @@ class EILSystem:
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
         field_boosts: Optional[Dict[str, float]] = None,
+        workers: int = 1,
+        query_cache_size: int = 128,
+        engine_cache_size: int = 256,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.taxonomy = taxonomy
         self.collection = collection
         self.directory = directory
         self.access = access or AccessController()
+        self.workers = workers
+        self._query_cache_size = query_cache_size
         self.engine = SearchEngine(
-            field_boosts=field_boosts or {"title": 2.0}
+            field_boosts=field_boosts or {"title": 2.0},
+            cache_size=engine_cache_size,
         )
         self.siapi = SiapiService(self.engine)
         self.organized = OrganizedInformation()
@@ -112,8 +120,15 @@ class EILSystem:
         access: Optional[AccessController] = None,
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
+        workers: int = 1,
     ) -> "EILSystem":
-        """Build a ready-to-query system from a generated corpus."""
+        """Build a ready-to-query system from a generated corpus.
+
+        Args:
+            workers: Thread-pool width for the offline parse+annotate
+                stage; the default (1) runs serially.  Results are
+                identical at any width (stable-order merge).
+        """
         system = cls(
             taxonomy=corpus.taxonomy,
             collection=corpus.collection,
@@ -121,18 +136,28 @@ class EILSystem:
             access=access,
             scope_min_weight=scope_min_weight,
             strategy_classifier=strategy_classifier,
+            workers=workers,
         )
         system.run_offline_pipeline()
         return system
 
-    def run_offline_pipeline(self) -> BuildReport:
-        """Crawl, analyze and populate (Figure 2's offline half)."""
+    def run_offline_pipeline(
+        self, workers: Optional[int] = None
+    ) -> BuildReport:
+        """Crawl, analyze and populate (Figure 2's offline half).
+
+        Args:
+            workers: Overrides the system's configured worker count for
+                this run only.
+        """
+        count = self.workers if workers is None else workers
         tracer = get_tracer()
-        with tracer.span("offline.pipeline"):
+        with tracer.span("offline.pipeline", workers=count):
             acquisition = DataAcquisition(self.engine)
             crawl_report = acquisition.acquire(self.collection)
 
-            results = self._analysis.analyze(self.collection)
+            results = self._analysis.analyze(self.collection,
+                                             workers=count)
             self.analysis_results = results
 
             deal_ids = (
@@ -167,6 +192,7 @@ class EILSystem:
                 siapi=self.siapi,
                 access=self.access,
                 repositories=self._repositories,
+                cache_size=self._query_cache_size,
             )
         self.build_report = BuildReport(
             documents_indexed=crawl_report.indexed,
@@ -223,26 +249,35 @@ class EILSystem:
     # -- incremental maintenance ---------------------------------------------
 
     def add_workbook(self, workbook) -> None:
-        """Onboard one new engagement without a full rebuild.
+        """Onboard one engagement without a full rebuild (idempotent).
 
         The production deployment grows continuously (the paper reports
         ~1000 engagements at rollout); re-running the whole offline
         pipeline per new deal would not scale.  This indexes the new
         workbook's documents, analyzes just that workbook, and populates
         its synopsis rows.
+
+        Onboarding has upsert semantics: re-adding a deal that is
+        already onboarded (or re-adding after ``remove_deal`` left the
+        workbook in ``collection``) first drops the deal's existing
+        index documents and synopsis rows, so repeated calls never
+        duplicate documents or rows.
         """
         self._require_search()  # initial build must have happened
         from repro.docmodel.repository import WorkbookCollection
 
-        self.collection.add(workbook)
-        self._repositories[workbook.deal_id] = workbook.name
-        self._search.repositories[workbook.deal_id] = workbook.name
+        deal_id = workbook.deal_id
+        if (deal_id in self._repositories
+                or self.organized.deal_row(deal_id) is not None):
+            self.remove_deal(deal_id)
+        self.collection.upsert(workbook)
+        self._repositories[deal_id] = workbook.name
+        self._search.repositories[deal_id] = workbook.name
 
         crawl = DataAcquisition(self.engine).acquire(
             WorkbookCollection([workbook])
         )
         results = self._analysis.analyze(WorkbookCollection([workbook]))
-        deal_id = workbook.deal_id
         self.organized.store_deal_context(
             deal_id, results.context.get(deal_id, {})
         )
@@ -265,6 +300,10 @@ class EILSystem:
                 results.documents_processed
             )
             self.build_report.deals_populated += 1
+            get_registry().set_gauge(
+                "eil.deals_populated", self.build_report.deals_populated
+            )
+        self._search.invalidate()
 
     def remove_deal(self, deal_id: str) -> int:
         """Offboard one engagement: drop its index entries and synopsis.
@@ -272,7 +311,10 @@ class EILSystem:
         Returns the number of documents removed from the index.  The
         workbook object itself stays in ``collection`` (the repository
         is the system of record; EIL only forgets what it extracted).
+        ``build_report`` and the ``eil.deals_populated`` gauge track the
+        removal, so stats do not drift under continuous offboarding.
         """
+        had_synopsis = self.organized.deal_row(deal_id) is not None
         removed = 0
         for doc_id in list(self.engine.index.doc_ids):
             document = self.engine.index.document(doc_id)
@@ -291,4 +333,12 @@ class EILSystem:
         self._repositories.pop(deal_id, None)
         if self._search is not None:
             self._search.repositories.pop(deal_id, None)
+            self._search.invalidate()
+        if self.build_report is not None:
+            self.build_report.documents_indexed -= removed
+            if had_synopsis:
+                self.build_report.deals_populated -= 1
+            get_registry().set_gauge(
+                "eil.deals_populated", self.build_report.deals_populated
+            )
         return removed

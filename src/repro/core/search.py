@@ -12,9 +12,10 @@ access control at presentation time (step 19).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.cache import LruCache
 from repro.core.organized import OrganizedInformation
 from repro.core.query_analyzer import FormQuery, SynopsisSearch
 from repro.core.ranking import RankCombiner, RankedActivity
@@ -76,6 +77,20 @@ class EilResults:
         return [a.deal_id for a in self.activities]
 
 
+def _copy_results(results: EilResults) -> EilResults:
+    """A caller-mutable copy of a cached result (lists are not shared)."""
+    return EilResults(
+        activities=[
+            replace(activity,
+                    reasons=list(activity.reasons),
+                    documents=list(activity.documents))
+            for activity in results.activities
+        ],
+        scoped=results.scoped,
+        plan=list(results.plan),
+    )
+
+
 class BusinessActivityDrivenSearch:
     """Executes Figure 1 end to end.
 
@@ -86,6 +101,11 @@ class BusinessActivityDrivenSearch:
         access: Access controller for step 19.
         repositories: deal_id -> repository name, for document ACLs.
         combiner: Rank combination policy (step 18).
+        cache_size: Result-cache capacity (0 disables caching).  Keys
+            combine the normalized form, the user's access signature
+            (user id + roles + ACL policy version) and the index/search
+            epochs, so no user can ever see another user's cached view
+            and incremental maintenance invalidates correctly.
     """
 
     def __init__(
@@ -96,6 +116,7 @@ class BusinessActivityDrivenSearch:
         access: Optional[AccessController] = None,
         repositories: Optional[Dict[str, str]] = None,
         combiner: Optional[RankCombiner] = None,
+        cache_size: int = 128,
     ) -> None:
         self.organized = organized
         self.taxonomy = taxonomy
@@ -104,6 +125,16 @@ class BusinessActivityDrivenSearch:
         self.access = access or AccessController()
         self.repositories = dict(repositories or {})
         self.combiner = combiner or RankCombiner()
+        self.epoch = 0
+        self._cache = LruCache("query.cache", cache_size)
+
+    def invalidate(self) -> None:
+        """Bump the search epoch; every cached result goes stale.
+
+        Called by incremental maintenance (``EILSystem.add_workbook`` /
+        ``remove_deal``) after the organized information changes.
+        """
+        self.epoch += 1
 
     def execute(
         self,
@@ -113,13 +144,48 @@ class BusinessActivityDrivenSearch:
         per_activity_documents: int = 5,
     ) -> EilResults:
         """Run one query for ``user``; see the module docstring."""
+        get_registry().inc("query.executed")
+        self.access.require_synopsis_access(user)
+        if form.is_empty():
+            raise QuerySyntaxError("the search form is empty")
+        key = self._cache_key(form, user, limit, per_activity_documents)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return _copy_results(cached)
+        results = self._execute(form, user, limit, per_activity_documents)
+        self._cache.put(key, results)
+        return _copy_results(results)
+
+    def _cache_key(
+        self,
+        form: FormQuery,
+        user: User,
+        limit: Optional[int],
+        per_activity_documents: int,
+    ) -> tuple:
+        normalized = tuple(
+            value.strip() if isinstance(value, str) else value
+            for value in astuple(form)
+        )
+        access_signature = (
+            user.user_id,
+            frozenset(user.roles),
+            self.access.policy_version,
+        )
+        epochs = (self.epoch, self.siapi.engine.epoch)
+        return (normalized, access_signature, epochs,
+                limit, per_activity_documents)
+
+    def _execute(
+        self,
+        form: FormQuery,
+        user: User,
+        limit: Optional[int],
+        per_activity_documents: int,
+    ) -> EilResults:
         tracer = get_tracer()
         metrics = get_registry()
-        metrics.inc("query.executed")
         with tracer.span("query.execute") as root:
-            self.access.require_synopsis_access(user)
-            if form.is_empty():
-                raise QuerySyntaxError("the search form is empty")
             plan: List[str] = []
 
             # Steps 1-3: decompose the form.

@@ -98,6 +98,20 @@ class WorkbookCollection:
             )
         self._workbooks[workbook.deal_id] = workbook
 
+    def upsert(self, workbook: EngagementWorkbook) -> bool:
+        """Register or replace the workbook of ``workbook.deal_id``.
+
+        Returns True when an existing workbook was replaced.  Insertion
+        order (and therefore ``all_documents`` order, which is sorted by
+        deal id anyway) is preserved for replacements.
+        """
+        replaced = workbook.deal_id in self._workbooks
+        self._workbooks[workbook.deal_id] = workbook
+        return replaced
+
+    def __contains__(self, deal_id: str) -> bool:
+        return deal_id in self._workbooks
+
     def workbook(self, deal_id: str) -> EngagementWorkbook:
         """The workbook of one deal."""
         workbook = self._workbooks.get(deal_id)

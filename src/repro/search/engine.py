@@ -13,6 +13,7 @@ import re
 from collections.abc import Set as AbstractSet
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
 
+from repro.cache import LruCache
 from repro.errors import SearchError
 from repro.obs import get_registry
 from repro.search.analyzer import Analyzer
@@ -43,6 +44,10 @@ class SearchEngine:
         field_boosts: Multiplier per field name; unlisted fields get 1.0.
             EIL boosts ``title`` because slide titles carry the key point
             (paper Section 3.3, "Custom Parsing").
+        cache_size: Result-cache capacity (0 disables caching).  Keys
+            embed the index ``epoch``, which every ``add``/``remove``
+            bumps, so cached results can never outlive the index state
+            they were computed against.
     """
 
     def __init__(
@@ -50,17 +55,21 @@ class SearchEngine:
         analyzer: Optional[Analyzer] = None,
         scorer: Optional[Scorer] = None,
         field_boosts: Optional[Mapping[str, float]] = None,
+        cache_size: int = 256,
     ) -> None:
         self.analyzer = analyzer or Analyzer()
         self.scorer: Scorer = scorer or Bm25Scorer()
         self.field_boosts = dict(field_boosts or {})
         self.index = InvertedIndex(self.analyzer)
+        self.epoch = 0
+        self._cache = LruCache("engine.cache", cache_size)
 
     # -- indexing -----------------------------------------------------------
 
     def add(self, document: IndexableDocument) -> None:
         """Index one document."""
         self.index.add(document)
+        self.epoch += 1
 
     def add_all(self, documents: Iterable[IndexableDocument]) -> int:
         """Index many documents; returns the count."""
@@ -73,6 +82,7 @@ class SearchEngine:
     def remove(self, doc_id: str) -> None:
         """Remove a document from the index."""
         self.index.remove(doc_id)
+        self.epoch += 1
 
     def __len__(self) -> int:
         return len(self.index)
@@ -102,6 +112,11 @@ class SearchEngine:
             query = parse_query(query)
         metrics = get_registry()
         metrics.inc("engine.searches")
+        cache_key = self._cache_key(query, limit, doc_filter)
+        if cache_key is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         scores = self._match(query)
         metrics.observe("engine.candidates", len(scores))
         scores = self._apply_doc_filter(scores, doc_filter)
@@ -121,7 +136,36 @@ class SearchEngine:
                     snippet=_make_snippet(document.text, surfaces),
                 )
             )
-        return hits
+        if cache_key is not None:
+            self._cache.put(cache_key, hits)
+        return list(hits)
+
+    def _cache_key(
+        self,
+        query: Query,
+        limit: Optional[int],
+        doc_filter: DocFilter,
+    ):
+        """Hashable cache key, or None when the search is uncacheable.
+
+        Predicate filters are opaque (no stable identity), so those
+        searches always recompute; id-set filters are folded into the
+        key as frozensets.  The index epoch is part of every key, which
+        is how ``add``/``remove`` invalidate without touching the cache.
+        """
+        if doc_filter is None:
+            filter_key = None
+        elif isinstance(doc_filter, AbstractSet):
+            filter_key = frozenset(doc_filter)
+        else:
+            # Predicates have no stable identity; invalid filters must
+            # still reach _apply_doc_filter to raise SearchError.
+            return None
+        try:
+            hash(query)
+        except TypeError:  # pragma: no cover - unhashable custom node
+            return None
+        return (self.epoch, query, limit, filter_key)
 
     def count(self, query: Union[str, Query], doc_filter: DocFilter = None) -> int:
         """Number of documents matching ``query`` (no ranking work)."""

@@ -66,6 +66,9 @@ class AccessController:
         self._allowed_roles: Dict[str, Set[str]] = {}
         self._public: Set[str] = set()
         self._restricted: Set[str] = set()
+        # Bumped on every policy mutation; query caches embed it in
+        # their keys so ACL changes invalidate cached results.
+        self.policy_version = 0
 
     # -- policy management -----------------------------------------------
 
@@ -73,25 +76,30 @@ class AccessController:
         """Mark a repository as restricted (explicit grants required)."""
         self._restricted.add(repository)
         self._public.discard(repository)
+        self.policy_version += 1
 
     def make_public(self, repository: str) -> None:
         """Open a repository to everyone."""
         self._public.add(repository)
         self._restricted.discard(repository)
+        self.policy_version += 1
 
     def grant_user(self, repository: str, user_id: str) -> None:
         """Allow one user to read a repository's documents."""
         self._restricted.add(repository)
         self._allowed_users.setdefault(repository, set()).add(user_id)
+        self.policy_version += 1
 
     def grant_role(self, repository: str, role: str) -> None:
         """Allow a role to read a repository's documents."""
         self._restricted.add(repository)
         self._allowed_roles.setdefault(repository, set()).add(role)
+        self.policy_version += 1
 
     def revoke_user(self, repository: str, user_id: str) -> None:
         """Remove a user grant."""
         self._allowed_users.get(repository, set()).discard(user_id)
+        self.policy_version += 1
 
     # -- checks --------------------------------------------------------------
 

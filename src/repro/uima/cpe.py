@@ -7,13 +7,23 @@ per business activity, de-duplicating contacts, normalizing fields.
 Consumers receive each processed CAS and a final
 ``collection_process_complete`` callback where cross-document reasoning
 happens.
+
+The per-document stage (optional ``prepare`` — e.g. parsing a raw
+document to a CAS — followed by the analysis engine) is embarrassingly
+parallel, so :meth:`CollectionProcessingEngine.run` accepts a
+``workers`` count and fans that stage across a thread pool.  Consumers
+are inherently order-sensitive collection-level state, so the per-worker
+streams are merged back in stable submission (document) order before
+any consumer sees a CAS — a ``workers=N`` run feeds consumers the exact
+sequence the serial run would, making the two runs' results identical.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterable, List, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import AnnotatorError
 from repro.obs import get_registry, get_tracer
@@ -43,7 +53,9 @@ class CpeReport:
     Attributes:
         documents_processed: CASes successfully analyzed.
         documents_failed: CASes whose analysis raised.
-        failures: Error strings for each failed document.
+        failures: Error strings for each failed document, each carrying
+            the document's identity (doc id + deal) and the originating
+            exception type so parallel-run failures stay attributable.
         consumer_results: ``collection_process_complete`` return values,
             keyed by consumer name.
     """
@@ -52,6 +64,20 @@ class CpeReport:
     documents_failed: int = 0
     failures: List[str] = field(default_factory=list)
     consumer_results: dict = field(default_factory=dict)
+
+
+def _describe_failure(cas: Optional[Cas], exc: BaseException) -> str:
+    """One attributable failure line: doc identity + originating error.
+
+    ``AnnotatorError`` wraps the real exception as ``__cause__``; surface
+    the wrapped type so a log line names the actual bug class.
+    """
+    doc_id = deal_id = "<unknown>"
+    if cas is not None:
+        doc_id = str(cas.metadata.get("doc_id") or "<unknown>")
+        deal_id = str(cas.metadata.get("deal_id") or "<unknown>")
+    origin = type(exc.__cause__ or exc).__name__
+    return f"doc {doc_id} (deal {deal_id}): {origin}: {exc}"
 
 
 class CollectionProcessingEngine:
@@ -63,6 +89,8 @@ class CollectionProcessingEngine:
         continue_on_error: When True (the default, matching a nightly
             batch pipeline), per-document analysis failures are recorded
             and the run continues; when False the first failure raises.
+        workers: Default worker count for :meth:`run` — 1 keeps the
+            historical serial execution.
     """
 
     def __init__(
@@ -70,37 +98,135 @@ class CollectionProcessingEngine:
         engine: AnalysisEngine,
         consumers: Sequence[CasConsumer] = (),
         continue_on_error: bool = True,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.engine = engine
         self.consumers = list(consumers)
         self.continue_on_error = continue_on_error
+        self.workers = workers
 
-    def run(self, collection: Iterable[Cas]) -> CpeReport:
-        """Process every CAS; returns the collection-level report."""
+    def run(
+        self,
+        collection: Iterable[Any],
+        prepare: Optional[Callable[[Any], Cas]] = None,
+        workers: Optional[int] = None,
+    ) -> CpeReport:
+        """Process every item; returns the collection-level report.
+
+        Args:
+            collection: CASes, or raw items when ``prepare`` is given.
+            prepare: Maps a raw item to a CAS (e.g. document parsing);
+                runs inside the worker pool so parse *and* annotate fan
+                out together.  ``None`` treats items as ready CASes.
+            workers: Pool size for this run (defaults to the engine's
+                configured ``workers``); 1 runs strictly serially.
+        """
+        count = self.workers if workers is None else workers
+        if count < 1:
+            raise ValueError(f"workers must be >= 1, got {count}")
+        if count == 1:
+            return self._run_serial(collection, prepare)
+        return self._run_parallel(collection, prepare, count)
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(
+        self,
+        collection: Iterable[Any],
+        prepare: Optional[Callable[[Any], Cas]],
+    ) -> CpeReport:
         report = CpeReport()
         metrics = get_registry()
         with get_tracer().span("cpe.run"):
-            for cas in collection:
+            for item in collection:
+                cas = item if prepare is None else prepare(item)
                 started = perf_counter()
                 try:
                     self.engine.run(cas)
                 except AnnotatorError as exc:
-                    report.documents_failed += 1
-                    report.failures.append(str(exc))
-                    metrics.inc("cpe.documents_failed")
+                    self._record_failure(report, cas, exc)
                     if not self.continue_on_error:
                         raise
                     continue
-                report.documents_processed += 1
-                metrics.inc("cpe.documents_processed")
-                metrics.observe(
-                    "cpe.document_seconds", perf_counter() - started
+                self._record_success(
+                    report, cas, perf_counter() - started
                 )
-                for consumer in self.consumers:
-                    consumer.process_cas(cas)
-            with get_tracer().span("cpe.consumers_complete"):
-                for consumer in self.consumers:
-                    report.consumer_results[consumer.name] = (
-                        consumer.collection_process_complete()
-                    )
+            self._complete_consumers(report)
         return report
+
+    # -- parallel path ------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        collection: Iterable[Any],
+        prepare: Optional[Callable[[Any], Cas]],
+        workers: int,
+    ) -> CpeReport:
+        report = CpeReport()
+        with get_tracer().span("cpe.run", workers=workers):
+            items = list(collection)
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="cpe"
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda item: self._analyze_one(item, prepare),
+                        items,
+                    )
+                )
+            # Merge per-worker streams in stable document order so the
+            # consumers observe the exact serial sequence.
+            for cas, exc, elapsed in outcomes:
+                if exc is not None:
+                    if not isinstance(exc, AnnotatorError):
+                        raise exc  # prepare() errors propagate, as serial
+                    self._record_failure(report, cas, exc)
+                    if not self.continue_on_error:
+                        raise exc
+                    continue
+                self._record_success(report, cas, elapsed)
+            self._complete_consumers(report)
+        return report
+
+    def _analyze_one(
+        self,
+        item: Any,
+        prepare: Optional[Callable[[Any], Cas]],
+    ) -> Tuple[Optional[Cas], Optional[BaseException], float]:
+        """Worker body: prepare + engine, never raising across the pool."""
+        cas: Optional[Cas] = None
+        try:
+            cas = item if prepare is None else prepare(item)
+            started = perf_counter()
+            self.engine.run(cas)
+            return cas, None, perf_counter() - started
+        except BaseException as exc:  # re-raised or recorded by merge
+            return cas, exc, 0.0
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _record_success(
+        self, report: CpeReport, cas: Cas, elapsed: float
+    ) -> None:
+        metrics = get_registry()
+        report.documents_processed += 1
+        metrics.inc("cpe.documents_processed")
+        metrics.observe("cpe.document_seconds", elapsed)
+        for consumer in self.consumers:
+            consumer.process_cas(cas)
+
+    def _record_failure(
+        self, report: CpeReport, cas: Optional[Cas], exc: BaseException
+    ) -> None:
+        report.documents_failed += 1
+        report.failures.append(_describe_failure(cas, exc))
+        get_registry().inc("cpe.documents_failed")
+
+    def _complete_consumers(self, report: CpeReport) -> None:
+        with get_tracer().span("cpe.consumers_complete"):
+            for consumer in self.consumers:
+                report.consumer_results[consumer.name] = (
+                    consumer.collection_process_complete()
+                )

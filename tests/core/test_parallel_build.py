@@ -1,0 +1,79 @@
+"""Determinism suite: parallel offline builds equal the serial build.
+
+The CPE merges per-worker CAS streams back in stable document order
+before any collection-level consumer runs, so ``analyze(workers=N)``
+must produce :class:`AnalysisResults` *equal* to the serial run, and a
+parallel-built :class:`EILSystem` must answer queries identically.
+"""
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro.core import scope_query
+from repro.core.analysis import InformationAnalysis
+from repro.core.metaqueries import service_keyword_query
+
+SALES = User("u", frozenset({"sales"}))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(n_deals=4, docs_per_deal=14)
+    ).generate()
+
+
+class TestParallelAnalysisDeterminism:
+    def test_workers_4_equals_serial(self, corpus):
+        serial = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection)
+        parallel = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection, workers=4)
+        assert parallel == serial
+
+    def test_odd_worker_count_equals_serial(self, corpus):
+        serial = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection)
+        parallel = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection, workers=3)
+        assert parallel == serial
+
+    def test_workers_beyond_document_count(self, corpus):
+        # More workers than documents must not drop or reorder output.
+        serial = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection)
+        parallel = InformationAnalysis(
+            corpus.taxonomy, corpus.directory
+        ).analyze(corpus.collection, workers=128)
+        assert parallel == serial
+
+
+class TestParallelSystemBuild:
+    def test_parallel_build_report_matches_serial(self, corpus):
+        serial = EILSystem.build(corpus)
+        parallel = EILSystem.build(corpus, workers=4)
+        assert parallel.build_report == serial.build_report
+        assert parallel.analysis_results == serial.analysis_results
+
+    def test_parallel_build_answers_identically(self, corpus):
+        serial = EILSystem.build(corpus)
+        parallel = EILSystem.build(corpus, workers=4)
+        for form in (
+            scope_query("End User Services"),
+            service_keyword_query("Storage Management Services",
+                                  "data replication"),
+        ):
+            left = serial.search(form, SALES)
+            right = parallel.search(form, SALES)
+            assert left.deal_ids == right.deal_ids
+            assert left.plan == right.plan
+            assert left.scoped == right.scoped
+
+    def test_invalid_workers_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            EILSystem.build(corpus, workers=0)

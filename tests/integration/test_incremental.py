@@ -95,3 +95,89 @@ class TestRemoveDeal:
     def test_remove_unknown_deal_is_noop(self, world):
         _, eil, _, _ = world
         assert eil.remove_deal("ghost") == 0
+
+    def test_remove_updates_build_report(self, world):
+        """Regression: offboarding must not let stats drift."""
+        corpus, eil, _, _ = world
+        victim = corpus.deals[0].deal_id
+        docs_before = eil.build_report.documents_indexed
+        deals_before = eil.build_report.deals_populated
+        removed = eil.remove_deal(victim)
+        assert removed > 0
+        assert eil.build_report.documents_indexed == docs_before - removed
+        assert eil.build_report.deals_populated == deals_before - 1
+
+    def test_remove_updates_gauge(self, world):
+        from repro import obs
+
+        corpus, eil, _, _ = world
+        with obs.use_registry() as registry:
+            eil.remove_deal(corpus.deals[0].deal_id)
+            assert (registry.gauges["eil.deals_populated"].value
+                    == eil.build_report.deals_populated)
+
+    def test_remove_unknown_deal_keeps_stats(self, world):
+        _, eil, _, _ = world
+        deals_before = eil.build_report.deals_populated
+        docs_before = eil.build_report.documents_indexed
+        eil.remove_deal("ghost")
+        assert eil.build_report.deals_populated == deals_before
+        assert eil.build_report.documents_indexed == docs_before
+
+
+def _synopsis_row_counts(eil, deal_id):
+    counts = {}
+    for table in ("deals", "deal_scopes", "contacts", "win_strategies",
+                  "technologies", "client_references"):
+        rows = eil.organized.db.execute(
+            f"SELECT * FROM {table} WHERE deal_id = ?", [deal_id]
+        ).to_dicts()
+        counts[table] = len(rows)
+    return counts
+
+
+class TestIdempotentOnboarding:
+    def test_double_add_does_not_duplicate(self, world):
+        """Regression: re-onboarding must upsert, not append."""
+        corpus, eil, new_deal, workbook = world
+        eil.add_workbook(workbook)
+        docs_after_first = len(eil.engine)
+        rows_after_first = _synopsis_row_counts(eil, new_deal.deal_id)
+        report_after_first = (
+            eil.build_report.documents_indexed,
+            eil.build_report.deals_populated,
+        )
+        eil.add_workbook(workbook)
+        assert len(eil.engine) == docs_after_first
+        assert _synopsis_row_counts(eil, new_deal.deal_id) == rows_after_first
+        assert (eil.build_report.documents_indexed,
+                eil.build_report.deals_populated) == report_after_first
+
+    def test_re_add_existing_corpus_deal(self, world):
+        """Onboarding a deal already present in the collection upserts."""
+        corpus, eil, _, _ = world
+        deal_id = corpus.deals[0].deal_id
+        workbook = corpus.collection.workbook(deal_id)
+        docs_before = len(eil.engine)
+        rows_before = _synopsis_row_counts(eil, deal_id)
+        deals_before = eil.build_report.deals_populated
+        eil.add_workbook(workbook)
+        assert len(eil.engine) == docs_before
+        assert _synopsis_row_counts(eil, deal_id) == rows_before
+        assert eil.build_report.deals_populated == deals_before
+
+    def test_add_after_remove_leaves_single_copy(self, world):
+        corpus, eil, new_deal, workbook = world
+        eil.add_workbook(workbook)
+        eil.remove_deal(new_deal.deal_id)
+        # The workbook is still in the collection (system of record);
+        # re-adding it must come back as exactly one copy.
+        eil.add_workbook(workbook)
+        rows = _synopsis_row_counts(eil, new_deal.deal_id)
+        assert rows["deals"] == 1
+        indexed = [
+            doc_id for doc_id in eil.engine.index.doc_ids
+            if (eil.engine.index.document(doc_id).metadata.get("deal_id")
+                == new_deal.deal_id)
+        ]
+        assert len(indexed) == len(workbook)

@@ -1,0 +1,71 @@
+"""Unit tests for the bounded LRU cache (repro.cache)."""
+
+import pytest
+
+from repro import obs
+from repro.cache import LruCache
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+class TestLruCache:
+    def test_get_miss_then_hit(self, registry):
+        cache = LruCache("t.cache", 4)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert registry.counters["t.cache.misses"].value == 1
+        assert registry.counters["t.cache.hits"].value == 1
+
+    def test_capacity_evicts_least_recently_used(self, registry):
+        cache = LruCache("t.cache", 2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert registry.counters["t.cache.evictions"].value == 1
+
+    def test_size_gauge_tracks_entries(self, registry):
+        cache = LruCache("t.cache", 8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert registry.gauges["t.cache.size"].value == 2
+        cache.clear()
+        assert registry.gauges["t.cache.size"].value == 0
+        assert len(cache) == 0
+
+    def test_put_refreshes_existing_key(self, registry):
+        cache = LruCache("t.cache", 2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite, no eviction
+        cache.put("c", 3)   # evicts b, not a
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_zero_capacity_disables(self, registry):
+        cache = LruCache("t.cache", 0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_invalid_capacity_and_values_rejected(self, registry):
+        with pytest.raises(ValueError):
+            LruCache("t.cache", -1)
+        cache = LruCache("t.cache", 4)
+        with pytest.raises(ValueError):
+            cache.put("k", None)
+
+    def test_contains(self, registry):
+        cache = LruCache("t.cache", 4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache

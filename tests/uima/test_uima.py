@@ -242,3 +242,91 @@ class TestCpe:
         )
         with pytest.raises(AnnotatorError):
             cpe.run(self.make_collection(ts, ["x"]))
+
+    def test_invalid_worker_counts_rejected(self, ts):
+        with pytest.raises(ValueError):
+            CollectionProcessingEngine(UppercaseOrgAnnotator(), workers=0)
+        cpe = CollectionProcessingEngine(UppercaseOrgAnnotator())
+        with pytest.raises(ValueError):
+            cpe.run(self.make_collection(ts, ["ACME"]), workers=0)
+
+    def test_failures_carry_document_identity(self, ts):
+        """Failure strings name the doc, deal, and originating error."""
+        cpe = CollectionProcessingEngine(
+            AggregateAnalysisEngine(
+                "agg", [(ExplodingAnnotator(),
+                         lambda cas: "bad" in cas.text)]
+            ),
+        )
+        collection = [
+            Cas("fine", ts,
+                metadata={"doc_id": "d-1", "deal_id": "deal-9"}),
+            Cas("bad doc", ts,
+                metadata={"doc_id": "d-2", "deal_id": "deal-9"}),
+        ]
+        report = cpe.run(collection)
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert "d-2" in failure
+        assert "deal-9" in failure
+        # The wrapped original exception type, not just AnnotatorError.
+        assert "RuntimeError" in failure
+
+    def test_failures_without_metadata_still_recorded(self, ts):
+        cpe = CollectionProcessingEngine(ExplodingAnnotator())
+        report = cpe.run(self.make_collection(ts, ["x"]))
+        assert report.documents_failed == 1
+        assert "<unknown>" in report.failures[0]
+
+    def test_parallel_run_matches_serial(self, ts):
+        texts = [f"ACME {i} IBM" for i in range(12)] + ["lowercase only"]
+        serial_consumer = CountingConsumer()
+        serial = CollectionProcessingEngine(
+            UppercaseOrgAnnotator(), [serial_consumer]
+        ).run(self.make_collection(ts, texts))
+        parallel_consumer = CountingConsumer()
+        parallel = CollectionProcessingEngine(
+            UppercaseOrgAnnotator(), [parallel_consumer], workers=4
+        ).run(self.make_collection(ts, texts))
+        assert parallel.documents_processed == serial.documents_processed
+        assert parallel.consumer_results == serial.consumer_results
+        # Consumers saw the CASes in the original document order.
+        assert parallel_consumer.org_names == serial_consumer.org_names
+
+    def test_parallel_run_records_attributable_failures(self, ts):
+        cpe = CollectionProcessingEngine(
+            AggregateAnalysisEngine(
+                "agg", [(ExplodingAnnotator(),
+                         lambda cas: "bad" in cas.text)]
+            ),
+            workers=3,
+        )
+        collection = [
+            Cas(text, ts, metadata={"doc_id": f"d-{i}", "deal_id": "D"})
+            for i, text in enumerate(["good", "bad one", "good", "bad two"])
+        ]
+        report = cpe.run(collection)
+        assert report.documents_processed == 2
+        assert report.documents_failed == 2
+        assert any("d-1" in failure for failure in report.failures)
+        assert any("d-3" in failure for failure in report.failures)
+
+    def test_parallel_strict_mode_raises(self, ts):
+        cpe = CollectionProcessingEngine(
+            ExplodingAnnotator(), continue_on_error=False, workers=2
+        )
+        with pytest.raises(AnnotatorError):
+            cpe.run(self.make_collection(ts, ["x", "y"]))
+
+    def test_parallel_prepare_fans_out(self, ts):
+        """prepare maps raw items to CASes inside the pool."""
+        consumer = CountingConsumer()
+        cpe = CollectionProcessingEngine(
+            UppercaseOrgAnnotator(), [consumer], workers=2
+        )
+        report = cpe.run(
+            ["ACME here", "IBM there"],
+            prepare=lambda text: Cas(text, ts),
+        )
+        assert report.documents_processed == 2
+        assert report.consumer_results["counter"] == ["ACME", "IBM"]
