@@ -1,0 +1,298 @@
+"""Fault-tolerance bench: ``BENCH_fault_tolerance.json``.
+
+Measures what the fault-injection PR promises (docs/OPERATIONS.md):
+
+* **build survival** — for each offline fault point (``repository``,
+  ``crawler``, ``analysis``) at increasing error rates, the offline
+  pipeline must complete, quarantining what it could not process; the
+  bench records the survival ratio (documents processed / documents
+  generated), the quarantine counts, and the wall-clock overhead the
+  retries cost over a clean build.  At each rate the 2-worker build is
+  compared with the serial build — injected decisions hash on document
+  identity, not scheduling, so the surviving results must be identical
+  (the PR 2 determinism invariant, under fire).
+* **query degradation** — against a cleanly built system, the bench
+  arms hard outages (error rate 1.0) of the synopsis store, the index,
+  and both, then runs the meta-query workload: single outages must
+  yield flagged degraded results (``no-synopsis`` / ``no-index``) and
+  never an exception; the double outage must yield the structured
+  :class:`~repro.errors.EILUnavailableError`.  A moderate-rate run
+  (20%) records the retry latency tax on query wall-clock.
+
+Run standalone (CI smoke uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py [--smoke]
+
+or under pytest, where it asserts the JSON is well-formed::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, obs
+from repro.core.metaqueries import (
+    role_capacity_query,
+    scope_query,
+    service_keyword_query,
+    worked_with_query,
+)
+from repro.errors import EILUnavailableError
+from repro.faults import FaultInjector, FaultProfile, use_injector
+from repro.security.access import User
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_fault_tolerance.json"
+)
+_USER = User("bench", frozenset({"sales"}))
+
+#: Offline fault points exercised by the build-survival matrix.
+BUILD_COMPONENTS = ("repository", "crawler", "analysis")
+
+#: A fast retry policy so the bench measures behaviour, not sleeps.
+_RETRY_KWARGS = dict(base_delay=0.0, max_delay=0.0)
+
+
+def _fast_retry(seed: int = 0):
+    from repro.faults import RetryPolicy
+
+    return RetryPolicy(seed=seed, **_RETRY_KWARGS)
+
+
+def _query_forms(corpus):
+    member = corpus.deals[0].team[0]
+    return [
+        scope_query("End User Services"),
+        worked_with_query(member.person.full_name),
+        role_capacity_query("cross tower TSA"),
+        service_keyword_query("Storage Management Services",
+                              "data replication"),
+    ]
+
+
+def _build_under(corpus, spec: Optional[str], seed: int, workers: int):
+    """One build under an (optional) armed profile; returns stats."""
+    registry = obs.MetricsRegistry()
+    injector = (
+        FaultInjector(FaultProfile.parse(spec), seed=seed)
+        if spec else FaultInjector()
+    )
+    started = time.perf_counter()
+    with obs.use_registry(registry), use_injector(injector):
+        eil = EILSystem.build(
+            corpus, workers=workers, retry=_fast_retry(seed)
+        )
+    elapsed = time.perf_counter() - started
+    report = eil.build_report
+    results = eil.analysis_results
+    return {
+        "eil": eil,
+        "seconds": elapsed,
+        "indexed": report.documents_indexed,
+        "processed": results.documents_processed,
+        "quarantined": results.documents_quarantined,
+        "quarantine_lines": list(results.quarantined),
+        "faults_injected": registry.counters["faults.injected"].value
+        if "faults.injected" in registry.counters else 0,
+        "results": results,
+    }
+
+
+def _build_matrix(corpus, rates, seed: int):
+    """The component x rate build-survival matrix: ``(rows, clean)``.
+
+    The low rates (10-20%) show retries absorbing transient noise with
+    zero quarantine; the high rate (60%) is past what three attempts
+    can hide, so the quarantine-and-continue path itself is exercised.
+    """
+    clean = _build_under(corpus, None, seed, workers=1)
+    total = clean["processed"]
+    total_indexed = clean["indexed"]
+    rows: List[Dict[str, object]] = []
+    for component in BUILD_COMPONENTS:
+        for rate in rates:
+            spec = f"{component}:error={rate}"
+            serial = _build_under(corpus, spec, seed, workers=1)
+            parallel = _build_under(corpus, spec, seed, workers=2)
+            # Crawler faults thin the *index*, repository/analysis
+            # faults thin the *analysis*; survival is the worse of
+            # the two so each component's loss is visible.
+            rows.append({
+                "component": component,
+                "error_rate": rate,
+                "completed": True,
+                "documents_processed": serial["processed"],
+                "documents_indexed": serial["indexed"],
+                "documents_quarantined": serial["quarantined"],
+                "survival_ratio": min(
+                    serial["processed"] / total if total else 0.0,
+                    serial["indexed"] / total_indexed
+                    if total_indexed else 0.0,
+                ),
+                "faults_injected": serial["faults_injected"],
+                "build_seconds": serial["seconds"],
+                "overhead_vs_clean": (
+                    serial["seconds"] / clean["seconds"]
+                    if clean["seconds"] else 0.0
+                ),
+                "parallel_identical": (
+                    serial["results"] == parallel["results"]
+                ),
+            })
+    return rows, clean
+
+
+def _degradation_run(corpus, spec: Optional[str], seed: int):
+    """The query workload under one outage profile (fresh build first).
+
+    The build runs clean; only the online path is under fire, which is
+    exactly the ops scenario the ladder exists for.
+    """
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        eil = EILSystem.build(corpus, retry=_fast_retry(seed))
+        injector = (
+            FaultInjector(FaultProfile.parse(spec), seed=seed)
+            if spec else FaultInjector()
+        )
+        outcomes = {"full": 0, "no-synopsis": 0, "no-index": 0,
+                    "unavailable": 0}
+        started = time.perf_counter()
+        with use_injector(injector):
+            for form in _query_forms(corpus):
+                try:
+                    results = eil.search(form, _USER)
+                except EILUnavailableError:
+                    outcomes["unavailable"] += 1
+                else:
+                    outcomes[results.degraded or "full"] += 1
+        elapsed = time.perf_counter() - started
+    counters = {
+        name: counter.value
+        for name, counter in registry.counters.items()
+        if name.startswith(("query.degraded", "breaker.open",
+                            "retry.", "faults.injected"))
+        and "." != name[-1]
+    }
+    return {
+        "profile": spec or "none",
+        "outcomes": outcomes,
+        "seconds": elapsed,
+        "counters": counters,
+    }
+
+
+def run_bench(
+    deals: int = 8,
+    docs: int = 16,
+    rates=(0.1, 0.2, 0.6),
+    seed: int = 2008,
+    fault_seed: int = 0,
+    out_path: pathlib.Path = DEFAULT_OUT,
+) -> Dict[str, object]:
+    """Run the build matrix + degradation runs, write the JSON."""
+    corpus = CorpusGenerator(
+        CorpusConfig(seed=seed, n_deals=deals, docs_per_deal=docs)
+    ).generate()
+    matrix, clean = _build_matrix(corpus, rates, fault_seed)
+    degradation = [
+        _degradation_run(corpus, spec, fault_seed)
+        for spec in (
+            None,
+            "db:error=0.2",
+            "db:error=1.0",
+            "index:error=1.0",
+            "db:error=1.0;index:error=1.0",
+        )
+    ]
+    report: Dict[str, object] = {
+        "bench": "fault_tolerance",
+        "schema_version": 1,
+        "created_unix": time.time(),
+        "corpus": {
+            "seed": seed,
+            "deals": deals,
+            "docs_per_deal": docs,
+            "documents_processed": clean["processed"],
+        },
+        "fault_seed": fault_seed,
+        "build_matrix": matrix,
+        "degradation": degradation,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_bench_fault_tolerance(report_writer):
+    """Pytest entry: run a small bench and sanity-check the JSON."""
+    report = run_bench(deals=4, docs=14, rates=(0.2,))
+    matrix = report["build_matrix"]
+    assert all(row["completed"] for row in matrix)
+    assert all(row["parallel_identical"] for row in matrix)
+    # 20% single-component faults must not wipe out the corpus.
+    assert all(row["survival_ratio"] >= 0.5 for row in matrix)
+    by_profile = {run["profile"]: run for run in report["degradation"]}
+    assert by_profile["none"]["outcomes"]["full"] == 4
+    assert by_profile["db:error=1.0"]["outcomes"]["no-synopsis"] == 4
+    assert by_profile["index:error=1.0"]["outcomes"]["no-index"] >= 1
+    both = by_profile["db:error=1.0;index:error=1.0"]["outcomes"]
+    assert both["unavailable"] >= 1
+    assert DEFAULT_OUT.exists()
+    parsed = json.loads(DEFAULT_OUT.read_text())
+    assert parsed["bench"] == "fault_tolerance"
+    survived = min(row["survival_ratio"] for row in matrix)
+    lines = [
+        "E15: fault tolerance (injection, quarantine, degradation)",
+        f"build matrix: {len(matrix)} component x rate cells, all "
+        f"completed, parallel==serial everywhere, min survival "
+        f"{survived:.0%}",
+        "hard outages: db -> "
+        f"{by_profile['db:error=1.0']['outcomes']['no-synopsis']} "
+        "no-synopsis, index -> "
+        f"{by_profile['index:error=1.0']['outcomes']['no-index']} "
+        "no-index, both -> "
+        f"{both['unavailable']} unavailable (structured, not a crash)",
+    ]
+    report_writer("E15_fault_tolerance", "\n".join(lines))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--deals", type=int, default=8)
+    parser.add_argument("--docs", type=int, default=16)
+    parser.add_argument("--rates", type=float, nargs="+",
+                        default=[0.1, 0.2, 0.6])
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus + single rate (CI smoke)")
+    args = parser.parse_args()
+    if args.smoke:
+        args.deals, args.docs, args.rates = 4, 14, [0.2]
+    report = run_bench(args.deals, args.docs, tuple(args.rates),
+                       args.seed, args.fault_seed, args.out)
+    print(f"wrote {args.out}")
+    for row in report["build_matrix"]:
+        print(f"build {row['component']:<10} @ {row['error_rate']:.0%}: "
+              f"processed {row['documents_processed']}, quarantined "
+              f"{row['documents_quarantined']} "
+              f"(survival {row['survival_ratio']:.0%}, "
+              f"parallel identical: {row['parallel_identical']})")
+    for run in report["degradation"]:
+        outcomes = ", ".join(
+            f"{name}={count}"
+            for name, count in run["outcomes"].items() if count
+        )
+        print(f"queries under {run['profile']:<28}: {outcomes}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.annotators.base import EilAnnotator
+from repro.errors import DatabaseError, TransientError
 from repro.intranet.directory import PersonnelDirectory
+from repro.obs import get_registry
 from repro.text.normalize import (
     name_key,
     normalize_email,
@@ -307,16 +309,29 @@ class ContactRollup(CasConsumer):
             target.category = CATEGORY_FOR_ROLE.get(other.role, "other")
 
     def _validate(self, record: ContactRecord) -> ContactRecord:
-        """Step 13: refresh from the personnel directory."""
+        """Step 13: refresh from the personnel directory.
+
+        The refresh is enrichment, not extraction: when the directory's
+        backing store is down (its lookups are Database-backed and
+        subject to the ``db`` fault point), the contact stands as
+        extracted — unvalidated but present — rather than failing the
+        whole rollup.
+        """
         if self.directory is None:
             return record
-        directory_record = None
-        if record.email:
-            directory_record = self.directory.lookup_email(record.email)
-        if directory_record is None and record.name:
-            matches = self.directory.lookup_name(record.name)
-            if len(matches) == 1:
-                directory_record = matches[0]
+        try:
+            directory_record = None
+            if record.email:
+                directory_record = self.directory.lookup_email(
+                    record.email
+                )
+            if directory_record is None and record.name:
+                matches = self.directory.lookup_name(record.name)
+                if len(matches) == 1:
+                    directory_record = matches[0]
+        except (DatabaseError, TransientError):
+            get_registry().inc("contacts.directory_refresh_skipped")
+            return record
         if directory_record is not None:
             record.validated = True
             record.active = directory_record.active

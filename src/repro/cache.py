@@ -10,8 +10,16 @@ index/policy epoch that incremental maintenance bumps, so stale entries
 die by key mismatch rather than by explicit eviction.
 
 Each cache is obs-instrumented: ``<name>.hits`` / ``<name>.misses`` /
-``<name>.evictions`` counters and a ``<name>.size`` gauge land in the
-ambient :class:`~repro.obs.metrics.MetricsRegistry`.
+``<name>.evictions`` / ``<name>.bypassed`` counters and a
+``<name>.size`` gauge land in the ambient
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Degraded results never enter a cache: a value carrying a truthy
+``degraded`` or ``partial`` attribute (the convention
+:class:`~repro.core.search.EilResults` uses for the degradation
+ladder) is *bypassed at the store* — not stored and later invalidated,
+but never stored at all — so a momentary outage cannot pin its
+thinned-out answers for the cache's whole lifetime.
 """
 
 from __future__ import annotations
@@ -62,13 +70,30 @@ class LruCache:
         metrics.inc(f"{self.name}.hits")
         return value
 
+    @staticmethod
+    def storable(value: Any) -> bool:
+        """False for degraded/partial values, which must never be cached."""
+        return not (
+            getattr(value, "degraded", None)
+            or getattr(value, "partial", False)
+        )
+
     def put(self, key: Hashable, value: Any) -> None:
-        """Store ``value``, evicting least-recently-used past capacity."""
+        """Store ``value``, evicting least-recently-used past capacity.
+
+        Degraded/partial values (see :meth:`storable`) are bypassed —
+        counted under ``<name>.bypassed`` and never stored — so callers
+        can put unconditionally and still never serve a degraded answer
+        from cache.
+        """
         if value is None:
             raise ValueError(f"cache {self.name!r} cannot store None")
         if self.max_entries == 0:
             return
         metrics = get_registry()
+        if not self.storable(value):
+            metrics.inc(f"{self.name}.bypassed")
+            return
         evicted = 0
         with self._lock:
             self._entries[key] = value

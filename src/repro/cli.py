@@ -13,6 +13,13 @@ Commands:
 
 The CLI always works on the synthetic corpus (seeded, so results are
 reproducible); flags control scale and the query.
+
+Fault drills: ``--fault-profile`` arms the deterministic fault injector
+for the whole command (e.g. ``--fault-profile db:error=0.2 stats``), so
+the degradation ladder and quarantine paths can be exercised — and CI
+can smoke them — without any real outage.  ``--fault-seed`` varies the
+injected decisions while keeping them reproducible; see
+docs/OPERATIONS.md for the drill recipes.
 """
 
 from __future__ import annotations
@@ -39,7 +46,9 @@ from repro.core.presentation import (
 from repro.core.query_analyzer import FormQuery
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.db.persistence import dump_database
+from repro.errors import EILUnavailableError, TransientError
 from repro.eval.study import MetaQueryClassifier
+from repro.faults import FaultInjector, FaultProfile, use_injector
 from repro.security.access import User
 
 __all__ = ["main", "build_parser"]
@@ -64,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker threads for the offline "
                              "parse+annotate stage (default: 1, serial; "
                              "any width yields identical results)")
+    parser.add_argument("--fault-profile", default="",
+                        help="arm the fault injector, e.g. "
+                             "'db:error=0.2;index:latency=0.05' "
+                             "(components: repository, crawler, "
+                             "analysis, db, index)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for injected fault decisions "
+                             "(default: 0)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="run the four meta-queries")
@@ -108,10 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_system(args: argparse.Namespace) -> tuple:
-    corpus = CorpusGenerator(
-        CorpusConfig(seed=args.seed, n_deals=args.deals,
-                     docs_per_deal=args.docs)
-    ).generate()
+    # Corpus generation is the synthetic world, not the system under
+    # test: it must not absorb injected faults (the personnel
+    # directory it fills is Database-backed), so it runs under a
+    # no-op injector even when --fault-profile armed one.
+    with use_injector(FaultInjector()):
+        corpus = CorpusGenerator(
+            CorpusConfig(seed=args.seed, n_deals=args.deals,
+                         docs_per_deal=args.docs)
+        ).generate()
     return corpus, EILSystem.build(corpus, workers=args.workers)
 
 
@@ -219,8 +241,18 @@ def _stats_workload(eil: EILSystem, corpus, rounds: int) -> None:
     )
     for _ in range(max(1, rounds)):
         for form in forms:
-            eil.search(form, _USER)
-        eil.keyword_search("end user services")
+            try:
+                eil.search(form, _USER)
+            except EILUnavailableError:
+                # Both substrates down; already counted under
+                # query.unavailable — the report should still print.
+                pass
+        try:
+            eil.keyword_search("end user services")
+        except TransientError:
+            # The baseline has no degradation ladder (by design); a
+            # persistent injected outage must not kill the stats run.
+            obs.get_registry().inc("query.baseline_unavailable")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -251,4 +283,11 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+    if args.fault_profile:
+        injector = FaultInjector(
+            FaultProfile.parse(args.fault_profile), seed=args.fault_seed
+        )
+        with use_injector(injector):
+            return command(args)
+    return command(args)

@@ -8,7 +8,10 @@ paper's production deployment.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.docmodel.repository import WorkbookCollection
+from repro.faults import RetryPolicy
 from repro.obs import get_registry, get_tracer
 from repro.search.crawler import Crawler, CrawlReport
 from repro.search.engine import SearchEngine
@@ -19,9 +22,13 @@ __all__ = ["DataAcquisition"]
 class DataAcquisition:
     """Builds and maintains the semantic index over workbooks."""
 
-    def __init__(self, engine: SearchEngine) -> None:
+    def __init__(
+        self,
+        engine: SearchEngine,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.engine = engine
-        self._crawler = Crawler(engine)
+        self._crawler = Crawler(engine, retry=retry)
 
     def acquire(self, collection: WorkbookCollection) -> CrawlReport:
         """Crawl every workbook in the collection into the index."""
@@ -30,6 +37,7 @@ class DataAcquisition:
         metrics = get_registry()
         metrics.inc("acquisition.documents_indexed", report.indexed)
         metrics.inc("acquisition.documents_skipped", report.skipped)
+        metrics.inc("acquisition.sources_aborted", report.sources_aborted)
         metrics.set_gauge("index.documents", len(self.engine))
         span.set_attribute("indexed", report.indexed)
         return report

@@ -6,6 +6,14 @@ collection-processing consumers that produce per-deal structured
 results — contacts (Fig. 3), scopes (Section 3.4), overview context,
 win strategies, technologies and client references.  The results are
 then handed to :class:`~repro.core.organized.OrganizedInformation`.
+
+Fault tolerance: workbook reads (the ``repository`` fault point) are
+retried and a persistently unreadable workbook is *quarantined* — its
+documents are skipped, recorded in ``AnalysisResults.quarantined``, and
+the build continues.  Each per-document parse passes a keyed
+``analysis`` fault-point check (key = doc id), so injected per-document
+faults are deterministic at any worker count and land in the CPE's
+quarantine rather than aborting the run.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from repro.annotators.social import ContactRecord, ContactRollup
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.docmodel.parsers import DocumentParser, register_structure_types
 from repro.docmodel.repository import WorkbookCollection
+from repro.errors import TransientError
+from repro.faults import RetryPolicy, get_injector
 from repro.intranet.directory import PersonnelDirectory
 from repro.obs import get_registry, get_tracer
 from repro.uima.cas import Cas
@@ -77,6 +87,8 @@ class AnalysisResults:
     references: Dict[str, List[str]] = field(default_factory=dict)
     documents_processed: int = 0
     documents_failed: int = 0
+    documents_quarantined: int = 0
+    quarantined: List[str] = field(default_factory=list)
 
 
 class InformationAnalysis:
@@ -88,10 +100,16 @@ class InformationAnalysis:
         directory: Optional[PersonnelDirectory] = None,
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
     ) -> None:
         self.taxonomy = taxonomy
         self.directory = directory
         self.scope_min_weight = scope_min_weight
+        self.retry = retry or RetryPolicy()
+        self.deadline_seconds = deadline_seconds
+        self.max_failure_ratio = max_failure_ratio
         self.type_system = TypeSystem()
         register_structure_types(self.type_system)
         register_eil_types(self.type_system)
@@ -136,10 +154,16 @@ class InformationAnalysis:
                 technology_rollup,
                 reference_rollup,
             ],
+            retry=self.retry,
+            deadline_seconds=self.deadline_seconds,
+            max_failure_ratio=self.max_failure_ratio,
         )
         with get_tracer().span("offline.analyze", workers=workers) as span:
+            items, skipped_docs, workbook_quarantine = (
+                self._collect_documents(collection)
+            )
             report = cpe.run(
-                collection.all_documents(),
+                items,
                 prepare=self._parse_one,
                 workers=workers,
             )
@@ -147,6 +171,8 @@ class InformationAnalysis:
         metrics.inc("analysis.documents_processed",
                     report.documents_processed)
         metrics.inc("analysis.documents_failed", report.documents_failed)
+        metrics.inc("analysis.documents_quarantined",
+                    report.documents_quarantined + skipped_docs)
         span.set_attribute("documents", report.documents_processed)
         results = AnalysisResults(
             contacts=report.consumer_results["contact-rollup"],
@@ -177,14 +203,52 @@ class InformationAnalysis:
             },
             documents_processed=report.documents_processed,
             documents_failed=report.documents_failed,
+            documents_quarantined=(
+                report.documents_quarantined + skipped_docs
+            ),
+            quarantined=workbook_quarantine + report.quarantined,
         )
         return results
+
+    def _collect_documents(self, collection: WorkbookCollection):
+        """Gather documents workbook by workbook, quarantining outages.
+
+        Returns ``(documents, skipped_count, quarantine_lines)``.  Each
+        workbook read is retried under the analysis retry policy; a
+        workbook that stays unreadable contributes one quarantine line
+        and its documents are skipped, instead of aborting the build.
+        """
+        documents: List = []
+        quarantine: List[str] = []
+        skipped = 0
+        for workbook in collection:
+            try:
+                docs = self.retry.call(workbook.documents)
+            except TransientError as exc:
+                skipped += len(workbook)
+                quarantine.append(
+                    f"workbook {workbook.name} (deal {workbook.deal_id}): "
+                    f"{type(exc).__name__}: {exc} "
+                    f"({len(workbook)} documents skipped)"
+                )
+                get_registry().inc("analysis.workbooks_quarantined")
+                continue
+            documents.extend(docs)
+        return documents, skipped, quarantine
 
     def _parse_one(self, document) -> Cas:
         """Parse one document to a CAS, timing the parse stage.
 
         Runs inside the CPE's worker pool when ``workers > 1``, so the
-        parse stage fans out together with annotation.
+        parse stage fans out together with annotation.  The keyed
+        ``analysis`` fault point fires here: decisions hash on the doc
+        id, never on worker scheduling, so the quarantined set — and
+        therefore every surviving document's results — is identical at
+        any worker count (the PR 2 determinism invariant, preserved
+        under injection).
         """
+        get_injector().check(
+            "analysis", key=getattr(document, "doc_id", None)
+        )
         with get_registry().timer("analysis.parse_seconds"):
             return self.parser.to_cas(document)

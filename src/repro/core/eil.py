@@ -38,6 +38,7 @@ from repro.core.search import BusinessActivityDrivenSearch, EilResults
 from repro.corpus.generator import Corpus
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.docmodel.repository import WorkbookCollection
+from repro.faults import RetryPolicy
 from repro.intranet.directory import PersonnelDirectory
 from repro.obs import get_registry, get_tracer
 from repro.search.document import SearchHit
@@ -57,14 +58,19 @@ class BuildReport:
     Attributes:
         documents_indexed: Documents in the semantic index.
         documents_analyzed: Documents the annotation pipeline processed.
-        documents_failed: Documents whose analysis raised.
+        documents_failed: Documents whose analysis raised a hard error.
         deals_populated: Deals with a stored synopsis.
+        documents_quarantined: Documents set aside by the fault layer
+            (transient failures, deadline overruns, unreadable
+            workbooks); the per-document reasons are in
+            ``EILSystem.analysis_results.quarantined``.
     """
 
     documents_indexed: int
     documents_analyzed: int
     documents_failed: int
     deals_populated: int
+    documents_quarantined: int = 0
 
 
 class EILSystem:
@@ -82,6 +88,9 @@ class EILSystem:
         workers: int = 1,
         query_cache_size: int = 128,
         engine_cache_size: int = 256,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -98,11 +107,15 @@ class EILSystem:
         self.siapi = SiapiService(self.engine)
         self.organized = OrganizedInformation()
         self.synopsis_builder = SynopsisBuilder(self.organized)
+        self._retry = retry or RetryPolicy()
         self._analysis = InformationAnalysis(
             taxonomy,
             directory,
             scope_min_weight=scope_min_weight,
             strategy_classifier=strategy_classifier,
+            retry=self._retry,
+            deadline_seconds=deadline_seconds,
+            max_failure_ratio=max_failure_ratio,
         )
         self._repositories: Dict[str, str] = {
             workbook.deal_id: workbook.name for workbook in collection
@@ -121,6 +134,9 @@ class EILSystem:
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
         workers: int = 1,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> "EILSystem":
         """Build a ready-to-query system from a generated corpus.
 
@@ -128,6 +144,12 @@ class EILSystem:
             workers: Thread-pool width for the offline parse+annotate
                 stage; the default (1) runs serially.  Results are
                 identical at any width (stable-order merge).
+            deadline_seconds: Per-document analysis budget; overruns
+                are quarantined (None disables the check).
+            max_failure_ratio: Abort the build when more than this
+                fraction of documents failed or were quarantined.
+            retry: Retry policy for transient failures across both
+                pipelines (defaults to three quick attempts).
         """
         system = cls(
             taxonomy=corpus.taxonomy,
@@ -137,6 +159,9 @@ class EILSystem:
             scope_min_weight=scope_min_weight,
             strategy_classifier=strategy_classifier,
             workers=workers,
+            deadline_seconds=deadline_seconds,
+            max_failure_ratio=max_failure_ratio,
+            retry=retry,
         )
         system.run_offline_pipeline()
         return system
@@ -153,7 +178,7 @@ class EILSystem:
         count = self.workers if workers is None else workers
         tracer = get_tracer()
         with tracer.span("offline.pipeline", workers=count):
-            acquisition = DataAcquisition(self.engine)
+            acquisition = DataAcquisition(self.engine, retry=self._retry)
             crawl_report = acquisition.acquire(self.collection)
 
             results = self._analysis.analyze(self.collection,
@@ -193,14 +218,19 @@ class EILSystem:
                 access=self.access,
                 repositories=self._repositories,
                 cache_size=self._query_cache_size,
+                retry=self._retry,
             )
         self.build_report = BuildReport(
             documents_indexed=crawl_report.indexed,
             documents_analyzed=results.documents_processed,
             documents_failed=results.documents_failed,
             deals_populated=len(deal_ids),
+            documents_quarantined=results.documents_quarantined,
         )
         get_registry().set_gauge("eil.deals_populated", len(deal_ids))
+        get_registry().set_gauge(
+            "eil.documents_quarantined", results.documents_quarantined
+        )
         return self.build_report
 
     # -- online API -------------------------------------------------------------
@@ -227,9 +257,11 @@ class EILSystem:
 
         This is the "business-agnostic search-box" EIL is evaluated
         against in Section 4 — no activity scoping, no synopsis.
+        Transient index failures are retried; the baseline has no
+        degradation ladder, so a persistent outage propagates.
         """
         with get_tracer().span("online.keyword_search"):
-            return self.engine.search(query, limit)
+            return self._retry.call(self.engine.search, query, limit)
 
     def keyword_count(self, query: str) -> int:
         """Number of documents a keyword query returns (Figure 4)."""
@@ -298,6 +330,9 @@ class EILSystem:
             self.build_report.documents_indexed += crawl.indexed
             self.build_report.documents_analyzed += (
                 results.documents_processed
+            )
+            self.build_report.documents_quarantined += (
+                results.documents_quarantined
             )
             self.build_report.deals_populated += 1
             get_registry().set_gauge(

@@ -63,16 +63,46 @@ def render_synopsis(synopsis: DealSynopsis) -> str:
     return "\n".join(lines)
 
 
+_DEGRADED_BANNERS = {
+    "no-synopsis": (
+        "[degraded: synopsis store unavailable — keyword-only results, "
+        "no business-context ranking]"
+    ),
+    "no-index": (
+        "[degraded: search index unavailable — synopsis matches and "
+        "contacts only, no documents]"
+    ),
+}
+
+
 def render_results(results: EilResults) -> str:
-    """The Figure 9 view: activities first, then each one's documents."""
+    """The Figure 9 view: activities first, then each one's documents.
+
+    A degraded result (see the ladder in :mod:`repro.core.search`) is
+    rendered with a leading banner naming the missing substrate, and on
+    the ``no-index`` rung each activity shows its contact list — the
+    synopsis + contact-list fallback the paper prescribes whenever
+    documents cannot be shown.
+    """
+    banner = (
+        _DEGRADED_BANNERS.get(
+            results.degraded,
+            f"[degraded: {results.degraded}]",
+        )
+        if results.degraded
+        else None
+    )
     if not results.activities:
-        return "No matching business activities."
+        message = "No matching business activities."
+        return f"{banner}\n{message}" if banner else message
     best = max(
         (hit.score for activity in results.activities
          for hit in activity.documents),
         default=1.0,
     ) or 1.0
     lines: List[str] = []
+    if banner:
+        lines.append(banner)
     for activity in results.activities:
         lines.append(
             f"{activity.name}  (relevance {activity.score:.2f}; "
@@ -82,6 +112,10 @@ def render_results(results: EilResults) -> str:
             lines.append(
                 "    [documents withheld: no repository access; "
                 "see the synopsis People tab for contacts]"
+            )
+        if activity.contacts:
+            lines.append(
+                "    contacts: " + ", ".join(activity.contacts)
             )
         for hit in activity.documents:
             title = hit.document.fields.get("title", hit.doc_id)

@@ -8,6 +8,28 @@ activities the business context already ruled out never surface.  With
 no synopsis hits, the SIAPI query runs unscoped (steps 12-15).  Results
 are ranked by the combined relevance (step 18) and filtered through
 access control at presentation time (step 19).
+
+Degradation ladder (docs/OPERATIONS.md): the two stages lean on two
+independent substrates — the synopsis DB and the SIAPI index — and the
+production system the paper describes had to survive either being
+down.  Each substrate call runs under a :class:`~repro.faults
+.RetryPolicy` inside a :class:`~repro.faults.CircuitBreaker`, and a
+persistent outage degrades instead of erroring:
+
+* synopsis store down → the keyword query runs unscoped and the result
+  is flagged ``degraded="no-synopsis"`` (business context missing,
+  keyword-only relevance);
+* index down → synopsis matches are returned with their contact lists
+  and no document hits, flagged ``degraded="no-index"`` — the same
+  synopsis + contact-list view users without repository access get
+  (paper Section 3's access-control fallback);
+* both down → a structured :class:`EILUnavailableError` naming both
+  failures.
+
+Degraded results are never cached (the :class:`~repro.cache.LruCache`
+bypasses values with a ``degraded`` flag), and every rung increments
+``query.degraded`` counters so the ladder is visible in ``repro
+stats``.
 """
 
 from __future__ import annotations
@@ -17,15 +39,42 @@ from typing import Dict, List, Optional
 
 from repro.cache import LruCache
 from repro.core.organized import OrganizedInformation
-from repro.core.query_analyzer import FormQuery, SynopsisSearch
+from repro.core.query_analyzer import FormQuery, SynopsisMatch, SynopsisSearch
 from repro.core.ranking import RankCombiner, RankedActivity
 from repro.corpus.taxonomy import ServiceTaxonomy
-from repro.errors import QuerySyntaxError
+from repro.errors import (
+    DatabaseError,
+    EILUnavailableError,
+    QuerySyntaxError,
+    SearchError,
+    TransientError,
+)
+from repro.faults import CircuitBreaker, RetryPolicy
 from repro.obs import get_registry, get_tracer
 from repro.search.siapi import SiapiService
 from repro.security.access import AccessController, User
 
-__all__ = ["ActivityResult", "EilResults", "BusinessActivityDrivenSearch"]
+__all__ = [
+    "ActivityResult",
+    "EilResults",
+    "BusinessActivityDrivenSearch",
+    "DEGRADED_NO_SYNOPSIS",
+    "DEGRADED_NO_INDEX",
+]
+
+#: ``EilResults.degraded`` flag: the synopsis store was unreachable, so
+#: the result is keyword-only (no business-context scoping or scores).
+DEGRADED_NO_SYNOPSIS = "no-synopsis"
+
+#: ``EilResults.degraded`` flag: the SIAPI index was unreachable, so
+#: activities carry synopsis scores and contact lists but no documents.
+DEGRADED_NO_INDEX = "no-index"
+
+# Substrate outages worth degrading over.  QuerySyntaxError is the
+# user's fault, never the substrate's; it must propagate un-degraded
+# and must not trip a breaker.
+_SYNOPSIS_OUTAGES = (DatabaseError, TransientError)
+_INDEX_OUTAGES = (SearchError, TransientError)
 
 
 @dataclass
@@ -40,9 +89,13 @@ class ActivityResult:
         siapi_score: Keyword contribution.
         reasons: Why the synopsis matched.
         documents: Supporting document hits — empty when the user lacks
-            repository access (synopsis-only view) or no text query ran.
+            repository access (synopsis-only view), no text query ran,
+            or the index was down (``degraded="no-index"``).
         documents_withheld: True when hits existed but access control
             removed them.
+        contacts: Contact names for the synopsis + contact-list view;
+            populated on the ``no-index`` degradation rung (and mirrors
+            what the synopsis tab would show).
     """
 
     deal_id: str
@@ -53,6 +106,7 @@ class ActivityResult:
     reasons: List[str] = field(default_factory=list)
     documents: List = field(default_factory=list)
     documents_withheld: bool = False
+    contacts: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -65,11 +119,16 @@ class EilResults:
             (Fig. 1 step 8) rather than unscoped (step 14).
         plan: Trace of the algorithm's branch decisions, for tests and
             the UI's "how this was found" affordance.
+        degraded: None for a full-fidelity answer, else the ladder rung
+            that produced it (:data:`DEGRADED_NO_SYNOPSIS` or
+            :data:`DEGRADED_NO_INDEX`).  Degraded results are never
+            cached.
     """
 
     activities: List[ActivityResult] = field(default_factory=list)
     scoped: bool = False
     plan: List[str] = field(default_factory=list)
+    degraded: Optional[str] = None
 
     @property
     def deal_ids(self) -> List[str]:
@@ -83,11 +142,13 @@ def _copy_results(results: EilResults) -> EilResults:
         activities=[
             replace(activity,
                     reasons=list(activity.reasons),
-                    documents=list(activity.documents))
+                    documents=list(activity.documents),
+                    contacts=list(activity.contacts))
             for activity in results.activities
         ],
         scoped=results.scoped,
         plan=list(results.plan),
+        degraded=results.degraded,
     )
 
 
@@ -106,6 +167,10 @@ class BusinessActivityDrivenSearch:
             (user id + roles + ACL policy version) and the index/search
             epochs, so no user can ever see another user's cached view
             and incremental maintenance invalidates correctly.
+        retry: Retry policy for transient substrate failures (defaults
+            to 3 quick attempts with deterministic jitter).
+        synopsis_breaker: Circuit breaker around the synopsis DB.
+        siapi_breaker: Circuit breaker around the SIAPI index.
     """
 
     def __init__(
@@ -117,6 +182,9 @@ class BusinessActivityDrivenSearch:
         repositories: Optional[Dict[str, str]] = None,
         combiner: Optional[RankCombiner] = None,
         cache_size: int = 128,
+        retry: Optional[RetryPolicy] = None,
+        synopsis_breaker: Optional[CircuitBreaker] = None,
+        siapi_breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.organized = organized
         self.taxonomy = taxonomy
@@ -127,6 +195,15 @@ class BusinessActivityDrivenSearch:
         self.combiner = combiner or RankCombiner()
         self.epoch = 0
         self._cache = LruCache("query.cache", cache_size)
+        self.retry = retry or RetryPolicy()
+        self.synopsis_breaker = synopsis_breaker or CircuitBreaker(
+            "synopsis", trip_on=_SYNOPSIS_OUTAGES,
+            ignore=(QuerySyntaxError,),
+        )
+        self.siapi_breaker = siapi_breaker or CircuitBreaker(
+            "siapi", trip_on=_INDEX_OUTAGES,
+            ignore=(QuerySyntaxError,),
+        )
 
     def invalidate(self) -> None:
         """Bump the search epoch; every cached result goes stale.
@@ -143,7 +220,13 @@ class BusinessActivityDrivenSearch:
         limit: Optional[int] = None,
         per_activity_documents: int = 5,
     ) -> EilResults:
-        """Run one query for ``user``; see the module docstring."""
+        """Run one query for ``user``; see the module docstring.
+
+        Raises:
+            EILUnavailableError: Only when *both* the synopsis store
+                and the SIAPI index are down; any single outage returns
+                a degraded (never cached) result instead.
+        """
         get_registry().inc("query.executed")
         self.access.require_synopsis_access(user)
         if form.is_empty():
@@ -153,6 +236,8 @@ class BusinessActivityDrivenSearch:
         if cached is not None:
             return _copy_results(cached)
         results = self._execute(form, user, limit, per_activity_documents)
+        # The cache itself refuses degraded values (LruCache.storable),
+        # so a thinned-out answer can never outlive the outage.
         self._cache.put(key, results)
         return _copy_results(results)
 
@@ -176,6 +261,32 @@ class BusinessActivityDrivenSearch:
         return (normalized, access_signature, epochs,
                 limit, per_activity_documents)
 
+    # -- resilient substrate calls ------------------------------------------
+
+    def _synopsis_matches(
+        self, form: FormQuery
+    ) -> Dict[str, SynopsisMatch]:
+        """The synopsis query under retry + breaker (steps 2, 4)."""
+        return self.synopsis_breaker.call(
+            self.retry.call, self.synopsis_search.execute, form
+        )
+
+    def _siapi_grouped(self, siapi_query, scope, per_activity_documents):
+        """The SIAPI query under retry + breaker (steps 8 / 14)."""
+        return self.siapi_breaker.call(
+            self.retry.call,
+            self.siapi.search_grouped,
+            siapi_query,
+            scope=scope,
+            per_activity_limit=per_activity_documents,
+        )
+
+    def _record_degraded(self, flag: str, plan: List[str], note: str) -> None:
+        metrics = get_registry()
+        metrics.inc("query.degraded")
+        metrics.inc(f"query.degraded.{flag}")
+        plan.append(note)
+
     def _execute(
         self,
         form: FormQuery,
@@ -187,6 +298,7 @@ class BusinessActivityDrivenSearch:
         metrics = get_registry()
         with tracer.span("query.execute") as root:
             plan: List[str] = []
+            degraded: Optional[str] = None
 
             # Steps 1-3: decompose the form.
             with tracer.span("query.analyze"):
@@ -196,55 +308,139 @@ class BusinessActivityDrivenSearch:
                     self.taxonomy.canonical(form.tower) is None
                 ):
                     suggestions = self.taxonomy.suggest(form.tower)
+
+            synopsis_failure: Optional[BaseException] = None
+            synopsis_matches: Dict[str, SynopsisMatch] = {}
             with tracer.span("query.synopsis"):  # steps 2, 4
-                synopsis_matches = self.synopsis_search.execute(form)
-            plan.append(
-                f"synopsis query matched {len(synopsis_matches)} activities"
-            )
+                try:
+                    synopsis_matches = self._synopsis_matches(form)
+                except _SYNOPSIS_OUTAGES as exc:
+                    synopsis_failure = exc
+                    metrics.inc("query.synopsis_unavailable")
+            if synopsis_failure is None:
+                plan.append(
+                    f"synopsis query matched {len(synopsis_matches)} "
+                    f"activities"
+                )
+                metrics.observe(
+                    "query.synopsis_matches", len(synopsis_matches)
+                )
+            else:
+                degraded = DEGRADED_NO_SYNOPSIS
+                self._record_degraded(
+                    degraded, plan,
+                    f"synopsis store unavailable "
+                    f"({type(synopsis_failure).__name__}); "
+                    f"degrading to keyword-only search",
+                )
             if suggestions:
                 plan.append(
                     f"unknown concept {form.tower!r}; did you mean: "
                     + ", ".join(suggestions)
                 )
-            metrics.observe("query.synopsis_matches", len(synopsis_matches))
 
             scoped = False
             siapi_groups = None
-            if synopsis_matches:  # step 5
+            if synopsis_failure is not None:
+                # Rung 1: no synopsis.  Keyword-only, unscoped — or, if
+                # the index is down too, the bottom of the ladder.
+                if siapi_query is None:
+                    plan.append(
+                        "no text criteria to fall back to; empty "
+                        "degraded result"
+                    )
+                    metrics.inc("query.empty_results")
+                    return EilResults(plan=plan, degraded=degraded)
+                try:
+                    with tracer.span("query.siapi", scoped=False):
+                        siapi_groups = self._siapi_grouped(
+                            siapi_query, None, per_activity_documents
+                        )
+                except _INDEX_OUTAGES as exc:
+                    metrics.inc("query.siapi_unavailable")
+                    metrics.inc("query.unavailable")
+                    raise EILUnavailableError(
+                        "both the synopsis store and the SIAPI index "
+                        "are unavailable",
+                        failures={
+                            "synopsis": synopsis_failure,
+                            "index": exc,
+                        },
+                    ) from exc
+                metrics.inc("query.siapi_unscoped")
+                plan.append(
+                    f"unscoped SIAPI query matched "
+                    f"{len(siapi_groups)} activities"
+                )
+                synopsis_matches = {}
+            elif synopsis_matches:  # step 5
                 if siapi_query is not None:  # step 7
                     # Step 8: scoped SIAPI execution.
                     scope = set(synopsis_matches)
-                    with tracer.span("query.siapi", scoped=True) as span:
-                        siapi_groups = self.siapi.search_grouped(
-                            siapi_query, scope=scope,
-                            per_activity_limit=per_activity_documents,
+                    try:
+                        with tracer.span(
+                            "query.siapi", scoped=True
+                        ) as span:
+                            siapi_groups = self._siapi_grouped(
+                                siapi_query, scope,
+                                per_activity_documents,
+                            )
+                            span.set_attribute("scope", len(scope))
+                    except _INDEX_OUTAGES as exc:
+                        # Rung 2: no index.  Synopsis + contact list
+                        # only — the access-control fallback view.
+                        metrics.inc("query.siapi_unavailable")
+                        degraded = DEGRADED_NO_INDEX
+                        self._record_degraded(
+                            degraded, plan,
+                            f"index unavailable "
+                            f"({type(exc).__name__}); synopsis and "
+                            f"contact list only",
                         )
-                        span.set_attribute("scope", len(scope))
-                    scoped = True
-                    metrics.inc("query.siapi_scoped")
-                    plan.append(
-                        f"SIAPI query scoped to {len(scope)} activities, "
-                        f"{len(siapi_groups)} matched"
-                    )
-                    # Activities with no keyword hits drop out: both parts
-                    # of the conjunctive query must hold (step 9).
-                    synopsis_matches = {
-                        deal_id: match
-                        for deal_id, match in synopsis_matches.items()
-                        if any(
-                            g.activity_id == deal_id for g in siapi_groups
+                        siapi_groups = None
+                    else:
+                        scoped = True
+                        metrics.inc("query.siapi_scoped")
+                        plan.append(
+                            f"SIAPI query scoped to {len(scope)} "
+                            f"activities, {len(siapi_groups)} matched"
                         )
-                    }
+                        # Activities with no keyword hits drop out:
+                        # both parts of the conjunctive query must
+                        # hold (step 9).
+                        synopsis_matches = {
+                            deal_id: match
+                            for deal_id, match in
+                            synopsis_matches.items()
+                            if any(
+                                g.activity_id == deal_id
+                                for g in siapi_groups
+                            )
+                        }
                 else:
                     plan.append("no SIAPI query; synopsis results stand")
             else:
                 if siapi_query is not None:  # step 13
                     # Step 14: unscoped SIAPI execution.
-                    with tracer.span("query.siapi", scoped=False):
-                        siapi_groups = self.siapi.search_grouped(
-                            siapi_query,
-                            per_activity_limit=per_activity_documents,
+                    try:
+                        with tracer.span("query.siapi", scoped=False):
+                            siapi_groups = self._siapi_grouped(
+                                siapi_query, None,
+                                per_activity_documents,
+                            )
+                    except _INDEX_OUTAGES as exc:
+                        # Synopsis answered (nothing), index is down:
+                        # an empty result is all we can honestly give.
+                        metrics.inc("query.siapi_unavailable")
+                        degraded = DEGRADED_NO_INDEX
+                        self._record_degraded(
+                            degraded, plan,
+                            f"index unavailable "
+                            f"({type(exc).__name__}) and no synopsis "
+                            f"matches; empty degraded result",
                         )
+                        metrics.inc("query.empty_results")
+                        return EilResults(plan=plan, degraded=degraded)
                     metrics.inc("query.siapi_unscoped")
                     plan.append(
                         f"unscoped SIAPI query matched "
@@ -266,23 +462,57 @@ class BusinessActivityDrivenSearch:
             # Step 19: present under access control.
             with tracer.span("query.present"):
                 results = [
-                    self._present(activity, user) for activity in ranked
+                    self._present(
+                        activity, user,
+                        include_contacts=degraded == DEGRADED_NO_INDEX,
+                    )
+                    for activity in ranked
                 ]
             metrics.observe("query.activities_returned", len(results))
             root.set_attribute("activities", len(results))
-        return EilResults(activities=results, scoped=scoped, plan=plan)
+        return EilResults(
+            activities=results, scoped=scoped, plan=plan,
+            degraded=degraded,
+        )
+
+    def _deal_row(self, deal_id: str) -> Dict[str, object]:
+        """The deal's overview row, tolerating a flaky synopsis DB.
+
+        Presentation must not un-degrade a result that already made it
+        through the ladder: if the row read fails even after retries,
+        fall back to the bare deal id rather than raising.
+        """
+        try:
+            return self.retry.call(
+                self.organized.deal_row, deal_id
+            ) or {}
+        except _SYNOPSIS_OUTAGES:
+            get_registry().inc("query.present_row_unavailable")
+            return {}
+
+    def _contacts(self, deal_id: str) -> List[str]:
+        """Contact names for the synopsis + contact-list fallback view."""
+        try:
+            rows = self.retry.call(self.organized.contacts_of, deal_id)
+        except _SYNOPSIS_OUTAGES:
+            get_registry().inc("query.present_contacts_unavailable")
+            return []
+        return [str(row.get("name", "")) for row in rows if row.get("name")]
 
     def _present(
-        self, activity: RankedActivity, user: User
+        self,
+        activity: RankedActivity,
+        user: User,
+        include_contacts: bool = False,
     ) -> ActivityResult:
-        deal_row = self.organized.deal_row(activity.deal_id) or {}
+        deal_row = self._deal_row(activity.deal_id)
         repository = self.repositories.get(activity.deal_id, "")
-        may_read = self.access.can_read_documents(user, repository)
-        documents = activity.hits if may_read else []
-        if activity.hits and not may_read:
-            get_registry().inc(
-                "access.documents_redacted", len(activity.hits)
-            )
+        documents, withheld = self.access.presentable_documents(
+            user, repository, activity.hits
+        )
+        contacts = (
+            self._contacts(activity.deal_id) if include_contacts else []
+        )
         return ActivityResult(
             deal_id=activity.deal_id,
             name=str(deal_row.get("name") or activity.deal_id),
@@ -291,5 +521,6 @@ class BusinessActivityDrivenSearch:
             siapi_score=activity.siapi_score,
             reasons=activity.reasons,
             documents=documents,
-            documents_withheld=bool(activity.hits) and not may_read,
+            documents_withheld=withheld,
+            contacts=contacts,
         )

@@ -38,6 +38,7 @@ from repro.errors import (
     SchemaError,
     TransactionError,
 )
+from repro.faults import get_injector
 
 __all__ = ["Database"]
 
@@ -214,7 +215,17 @@ class Database:
 
         Non-SELECT statements return a ResultSet with a single
         ``rowcount`` column so callers can treat everything uniformly.
+
+        This is the ``db`` fault point: SELECT statements — the
+        synopsis queries' read path — can be made to fail by an
+        installed :class:`~repro.faults.FaultInjector`.  DDL and the
+        programmatic helpers (``insert``, ``select``) are not faulted,
+        so the offline populate stage never loses rows or tables to
+        injection; what an armed ``db`` profile exercises is the
+        online store outage the degradation ladder exists for.
         """
+        if sql.lstrip()[:6].upper() == "SELECT":
+            get_injector().check("db")
         statement = parse(sql)
         return self.execute_statement(statement, params)
 

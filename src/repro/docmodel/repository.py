@@ -5,6 +5,15 @@ An :class:`EngagementWorkbook` holds one deal's documents; a
 offline pipeline (crawler + CPE) processes.  Workbooks implement the
 crawler's ``DocumentSource`` protocol by rendering their documents
 through the structure-preserving parser.
+
+Workbook reads are a ``repository`` fault point (the paper's EIL
+crawled notoriously flaky enterprise repositories): each bulk read
+passes one keyed :meth:`~repro.faults.FaultInjector.check` — key = the
+deal id, so injected outages hit whole workbooks deterministically —
+before any document is returned.  Resilience lives in the callers:
+:class:`~repro.core.analysis.InformationAnalysis` retries and then
+quarantines an unreadable workbook; the crawler records an aborted
+source and carries on.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 from repro.docmodel.documents import EnterpriseDocument
 from repro.docmodel.parsers import DocumentParser
 from repro.errors import CorpusError
+from repro.faults import get_injector
 from repro.search.document import IndexableDocument
 
 __all__ = ["EngagementWorkbook", "WorkbookCollection"]
@@ -64,14 +74,27 @@ class EngagementWorkbook:
     def documents(
         self, doc_type: Optional[str] = None
     ) -> List[EnterpriseDocument]:
-        """All documents (optionally one genre), in insertion order."""
+        """All documents (optionally one genre), in insertion order.
+
+        Raises:
+            TransientError: When the ``repository`` fault point fires
+                (the whole workbook read fails, as a repository outage
+                would); callers retry or quarantine the workbook.
+        """
+        get_injector().check("repository", key=self.deal_id)
         docs = list(self._documents.values())
         if doc_type is not None:
             docs = [d for d in docs if d.doc_type == doc_type]
         return docs
 
     def iter_documents(self) -> Iterator[IndexableDocument]:
-        """DocumentSource protocol: rendered, indexable documents."""
+        """DocumentSource protocol: rendered, indexable documents.
+
+        The ``repository`` fault point fires on the first ``next()``
+        (generator semantics), aborting the whole source — the crawler
+        records the aborted source and continues with the next one.
+        """
+        get_injector().check("repository", key=self.deal_id)
         for document in self._documents.values():
             yield self._parser.to_indexable(document)
 

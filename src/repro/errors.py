@@ -24,6 +24,12 @@ __all__ = [
     "AccessDeniedError",
     "CorpusError",
     "ConfigurationError",
+    "TransientError",
+    "InjectedFaultError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "BuildAbortedError",
+    "EILUnavailableError",
 ]
 
 
@@ -97,3 +103,57 @@ class CorpusError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid system configuration."""
+
+
+# --- fault tolerance -----------------------------------------------------
+
+
+class TransientError(ReproError):
+    """A temporary substrate failure that may succeed on retry.
+
+    The retryable-exception class: :class:`repro.faults.RetryPolicy`
+    retries these by default, and the CPE quarantines (rather than
+    fails) documents that keep raising them.
+    """
+
+
+class InjectedFaultError(TransientError):
+    """An error injected by the fault harness (:mod:`repro.faults`)."""
+
+
+class DeadlineExceededError(TransientError):
+    """An operation overran its deadline (real or injected timeout)."""
+
+
+class CircuitOpenError(TransientError):
+    """A circuit breaker is open; the protected call was not attempted."""
+
+
+class BuildAbortedError(ReproError):
+    """The offline build failed its quality gate (``max_failure_ratio``).
+
+    Attributes:
+        report: The partial :class:`~repro.uima.cpe.CpeReport`, when the
+            CPE aborted the run (None otherwise).
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class EILUnavailableError(ReproError):
+    """Every rung of the online degradation ladder failed.
+
+    Raised by :meth:`BusinessActivityDrivenSearch.execute
+    <repro.core.search.BusinessActivityDrivenSearch.execute>` only when
+    *both* the synopsis store and the SIAPI index are down — any
+    single-substrate outage degrades instead (see docs/OPERATIONS.md).
+
+    Attributes:
+        failures: component name -> the failure that took it out.
+    """
+
+    def __init__(self, message: str, failures: object = None) -> None:
+        super().__init__(message)
+        self.failures = dict(failures or {})

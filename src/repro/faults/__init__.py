@@ -1,0 +1,77 @@
+"""Fault injection + the resilience machinery it exercises.
+
+Three pieces, designed to be used together (see docs/OPERATIONS.md):
+
+* :class:`FaultInjector` / :class:`FaultProfile` / :class:`FaultRule` —
+  deterministic, seedable error/latency/timeout injection at named
+  fault points inside the pipelines (repository reads, crawler fetches,
+  DB calls, index queries, per-document analysis).
+* :class:`RetryPolicy` — bounded attempts, exponential backoff with
+  deterministic jitter, retryable-exception classification.
+* :class:`CircuitBreaker` — fast-fail protection around the synopsis
+  store and the SIAPI index.
+
+The injector follows the same *global default, injectable override*
+pattern as :mod:`repro.obs`: fault points resolve :func:`get_injector`
+at call time, the default injector has an empty profile (a no-op), and
+tests, benchmarks and the CLI's ``--fault-profile`` flag install a real
+one with :func:`use_injector` / :func:`set_injector`::
+
+    from repro import faults
+
+    profile = faults.FaultProfile.parse("db:error=0.2")
+    with faults.use_injector(faults.FaultInjector(profile, seed=7)):
+        results = eil.search(form, user)   # degrades, never crashes
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injection import FaultInjector, FaultProfile, FaultRule
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRule",
+    "RetryPolicy",
+    "get_injector",
+    "set_injector",
+    "use_injector",
+]
+
+
+_injector = FaultInjector()
+
+
+def get_injector() -> FaultInjector:
+    """The process-wide default fault injector (a no-op by default)."""
+    return _injector
+
+
+def set_injector(injector: Optional[FaultInjector]) -> FaultInjector:
+    """Install ``injector`` as the default (None installs a no-op).
+
+    Returns the *previously* installed injector so callers can restore
+    it — ``set_injector(set_injector(armed))`` is a no-op.
+    """
+    global _injector
+    previous = _injector
+    _injector = injector if injector is not None else FaultInjector()
+    return previous
+
+
+@contextmanager
+def use_injector(
+    injector: Optional[FaultInjector] = None,
+) -> Iterator[FaultInjector]:
+    """Temporarily install an injector; restores the previous on exit."""
+    previous = set_injector(injector)
+    try:
+        yield get_injector()
+    finally:
+        set_injector(previous)

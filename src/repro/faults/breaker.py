@@ -1,0 +1,151 @@
+"""Circuit breaker protecting the synopsis store and the SIAPI index.
+
+Classic closed → open → half-open state machine: after
+``failure_threshold`` consecutive classified failures the breaker
+*opens* and every call is rejected instantly with
+:class:`CircuitOpenError` (no load lands on the struggling substrate,
+and the caller degrades immediately instead of waiting out retries).
+After ``recovery_seconds`` the next call is let through as a
+*half-open* probe; success closes the breaker, failure re-opens it.
+
+The clock is injectable so tests drive recovery without sleeping, and
+:class:`CircuitOpenError` subclasses :class:`TransientError`, so an open
+breaker lands in the same degradation handling as the outage that
+tripped it.
+
+Metrics: ``breaker.open`` counts trips (plus ``breaker.open.<name>``),
+``breaker.rejected.<name>`` counts fast-failed calls, and the gauge
+``breaker.state.<name>`` exports 0 = closed, 1 = half-open, 2 = open.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Tuple, Type
+
+from repro.errors import CircuitOpenError, TransientError
+from repro.obs import get_registry
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """A thread-safe circuit breaker around one substrate.
+
+    Args:
+        name: Metrics suffix and error-message label.
+        failure_threshold: Consecutive classified failures that trip
+            the breaker.
+        recovery_seconds: How long the breaker stays open before it
+            allows a half-open probe.
+        trip_on: Exception classes that count as substrate failures;
+            anything else propagates without touching the failure count
+            (a user's bad query must not black out the service).
+        ignore: Exception classes never counted even when they match
+            ``trip_on`` (checked first).
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        trip_on: Tuple[Type[BaseException], ...] = (TransientError,),
+        ignore: Tuple[Type[BaseException], ...] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.trip_on = tuple(trip_on)
+        self.ignore = tuple(ignore)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``half-open`` or ``open`` (recovery-aware)."""
+        with self._lock:
+            return self._current_state()
+
+    def _current_state(self) -> str:
+        if self._state == OPEN and (
+            self.clock() - self._opened_at >= self.recovery_seconds
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        get_registry().set_gauge(
+            f"breaker.state.{self.name}", _STATE_GAUGE[state]
+        )
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A protected call succeeded; close and reset."""
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        """A classified failure; trips the breaker at the threshold."""
+        metrics = get_registry()
+        with self._lock:
+            if self._current_state() == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._set_state(OPEN)
+                self._opened_at = self.clock()
+                metrics.inc("breaker.open")
+                metrics.inc(f"breaker.open.{self.name}")
+                return
+            self._failures += 1
+            if (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._set_state(OPEN)
+                self._opened_at = self.clock()
+                metrics.inc("breaker.open")
+                metrics.inc(f"breaker.open.{self.name}")
+
+    # -- the protected call -------------------------------------------------
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` under the breaker.
+
+        Raises:
+            CircuitOpenError: Without calling ``fn``, when the breaker
+                is open and the recovery window has not elapsed.
+        """
+        with self._lock:
+            state = self._current_state()
+            if state == OPEN:
+                get_registry().inc(f"breaker.rejected.{self.name}")
+                raise CircuitOpenError(
+                    f"circuit {self.name!r} is open "
+                    f"({self._failures} consecutive failures)"
+                )
+        try:
+            result = fn(*args, **kwargs)
+        except self.ignore:
+            raise
+        except self.trip_on:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

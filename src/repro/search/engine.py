@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.cache import LruCache
 from repro.errors import SearchError
+from repro.faults import get_injector
 from repro.obs import get_registry
 from repro.search.analyzer import Analyzer
 from repro.search.document import IndexableDocument, SearchHit
@@ -107,7 +108,13 @@ class SearchEngine:
         Returns:
             Hits sorted by descending score; ties broken by doc id for
             determinism.
+
+        This is the ``index`` fault point (the engine stands in for the
+        OmniFind service, which can be down as a whole): an installed
+        injector checks *before* the result cache, modelling an
+        unreachable service rather than a slow query.
         """
+        get_injector().check("index")
         if isinstance(query, str):
             query = parse_query(query)
         metrics = get_registry()
@@ -169,6 +176,7 @@ class SearchEngine:
 
     def count(self, query: Union[str, Query], doc_filter: DocFilter = None) -> int:
         """Number of documents matching ``query`` (no ranking work)."""
+        get_injector().check("index")
         if isinstance(query, str):
             query = parse_query(query)
         get_registry().inc("engine.counts")

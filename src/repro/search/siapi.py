@@ -9,6 +9,15 @@ activities returned by the synopsis query (paper Fig. 1 steps 7-8).
 Activity-level relevance follows Section 3: per-document scores are
 normalized by the best score in the result set, then averaged per
 activity.
+
+Fault behaviour: this facade adds no fault point of its own — the
+``index`` fault point lives one layer down, in
+:meth:`~repro.search.engine.SearchEngine.search` /
+:meth:`~repro.search.engine.SearchEngine.count` — so every SIAPI entry
+(search, count, search_grouped) surfaces the same
+:class:`~repro.errors.TransientError` stream.  Callers that need to
+survive an index outage wrap these calls in the ``siapi`` circuit
+breaker (see :mod:`repro.core.search` and docs/OPERATIONS.md).
 """
 
 from __future__ import annotations

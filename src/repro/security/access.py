@@ -13,7 +13,7 @@ EIL's advantage over document search under access control (Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import AccessDeniedError
 from repro.obs import get_registry
@@ -123,6 +123,25 @@ class AccessController:
             granted_roles = self._allowed_roles.get(repository, set())
             return bool(granted_roles & user.roles)
         return self.default_open
+
+    def presentable_documents(
+        self, user: User, repository: str, hits: Sequence
+    ) -> Tuple[List, bool]:
+        """Step 19's redaction decision: ``(visible_hits, withheld)``.
+
+        The paper's fallback — and the template the fault layer's
+        ``degraded="no-index"`` rung mirrors — is *synopsis + contact
+        list* whenever documents cannot be shown: here because the user
+        lacks repository access, there because the index is down.  The
+        caller renders contacts either way; this method only decides
+        document visibility and records the redaction metric.
+        """
+        may_read = self.can_read_documents(user, repository)
+        if may_read:
+            return list(hits), False
+        if hits:
+            get_registry().inc("access.documents_redacted", len(hits))
+        return [], bool(hits)
 
     def can_read_synopsis(self, user: User) -> bool:
         """May ``user`` read extracted synopses?  Anonymous may not."""

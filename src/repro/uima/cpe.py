@@ -16,6 +16,18 @@ are inherently order-sensitive collection-level state, so the per-worker
 streams are merged back in stable submission (document) order before
 any consumer sees a CAS — a ``workers=N`` run feeds consumers the exact
 sequence the serial run would, making the two runs' results identical.
+
+Fault tolerance (docs/OPERATIONS.md): per-document outcomes fall into
+three buckets.  *Processed* documents feed the consumers.  *Failed*
+documents raised a hard :class:`AnnotatorError` — a bug or bad input
+that a retry would not fix.  *Quarantined* documents hit a
+:class:`TransientError` (injected fault, repository hiccup, timeout)
+that survived the CPE's :class:`~repro.faults.RetryPolicy`, or overran
+the per-document ``deadline_seconds``; they are set aside — never fed
+to consumers — and the build continues.  A run whose combined
+failed+quarantined ratio exceeds ``max_failure_ratio`` aborts with
+:class:`BuildAbortedError` *before* the consumers complete, so a
+mostly-dead substrate cannot masquerade as a thin-but-valid build.
 """
 
 from __future__ import annotations
@@ -23,9 +35,15 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
-from repro.errors import AnnotatorError
+from repro.errors import (
+    AnnotatorError,
+    BuildAbortedError,
+    DeadlineExceededError,
+    TransientError,
+)
+from repro.faults import RetryPolicy
 from repro.obs import get_registry, get_tracer
 from repro.uima.cas import Cas
 from repro.uima.engine import AnalysisEngine
@@ -52,18 +70,34 @@ class CpeReport:
 
     Attributes:
         documents_processed: CASes successfully analyzed.
-        documents_failed: CASes whose analysis raised.
+        documents_failed: CASes whose analysis raised a hard
+            (non-transient) error.
+        documents_quarantined: CASes set aside after transient failures
+            or deadline overruns; distinct from hard failures so
+            operators can tell "rerun the build" from "fix the data".
         failures: Error strings for each failed document, each carrying
             the document's identity (doc id + deal) and the originating
             exception type so parallel-run failures stay attributable.
+        quarantined: Same format, for quarantined documents.
         consumer_results: ``collection_process_complete`` return values,
             keyed by consumer name.
     """
 
     documents_processed: int = 0
     documents_failed: int = 0
+    documents_quarantined: int = 0
     failures: List[str] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
     consumer_results: dict = field(default_factory=dict)
+
+    @property
+    def failure_ratio(self) -> float:
+        """(failed + quarantined) / total seen (0.0 on an empty run)."""
+        total = (self.documents_processed + self.documents_failed
+                 + self.documents_quarantined)
+        if not total:
+            return 0.0
+        return (self.documents_failed + self.documents_quarantined) / total
 
 
 def _describe_failure(cas: Optional[Cas], exc: BaseException) -> str:
@@ -80,6 +114,16 @@ def _describe_failure(cas: Optional[Cas], exc: BaseException) -> str:
     return f"doc {doc_id} (deal {deal_id}): {origin}: {exc}"
 
 
+@dataclass
+class _Outcome:
+    """One document's fate, produced in the workers, merged serially."""
+
+    cas: Optional[Cas]
+    status: str  # "ok" | "failed" | "quarantined" | "fatal"
+    error: Optional[BaseException]
+    elapsed: float
+
+
 class CollectionProcessingEngine:
     """Run ``engine`` over a CAS collection, then finish the consumers.
 
@@ -87,10 +131,21 @@ class CollectionProcessingEngine:
         engine: Document-level analysis (usually an aggregate).
         consumers: Collection-level components, run per CAS in order.
         continue_on_error: When True (the default, matching a nightly
-            batch pipeline), per-document analysis failures are recorded
-            and the run continues; when False the first failure raises.
+            batch pipeline), per-document failures and quarantines are
+            recorded and the run continues; when False the first one
+            raises.
         workers: Default worker count for :meth:`run` — 1 keeps the
             historical serial execution.
+        retry: Retry policy for transient per-document errors (None
+            disables retrying; transients then quarantine immediately).
+        deadline_seconds: Per-document budget for prepare+analysis.  A
+            document whose (final-attempt) processing overran it is
+            quarantined.  Threads cannot be pre-empted, so this is a
+            post-hoc check: the slow document still consumed its worker
+            slot once, but its results are withheld from the consumers.
+        max_failure_ratio: Abort threshold for
+            ``(failed + quarantined) / total``; the default 1.0 never
+            aborts (pre-fault-layer behaviour).
     """
 
     def __init__(
@@ -99,13 +154,28 @@ class CollectionProcessingEngine:
         consumers: Sequence[CasConsumer] = (),
         continue_on_error: bool = True,
         workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if not 0.0 <= max_failure_ratio <= 1.0:
+            raise ValueError(
+                f"max_failure_ratio must be in [0, 1], "
+                f"got {max_failure_ratio}"
+            )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
         self.engine = engine
         self.consumers = list(consumers)
         self.continue_on_error = continue_on_error
         self.workers = workers
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.max_failure_ratio = max_failure_ratio
 
     def run(
         self,
@@ -122,6 +192,11 @@ class CollectionProcessingEngine:
                 out together.  ``None`` treats items as ready CASes.
             workers: Pool size for this run (defaults to the engine's
                 configured ``workers``); 1 runs strictly serially.
+
+        Raises:
+            BuildAbortedError: When more than ``max_failure_ratio`` of
+                the documents failed or were quarantined; the partial
+                report rides on the exception's ``report`` attribute.
         """
         count = self.workers if workers is None else workers
         if count < 1:
@@ -138,21 +213,12 @@ class CollectionProcessingEngine:
         prepare: Optional[Callable[[Any], Cas]],
     ) -> CpeReport:
         report = CpeReport()
-        metrics = get_registry()
         with get_tracer().span("cpe.run"):
             for item in collection:
-                cas = item if prepare is None else prepare(item)
-                started = perf_counter()
-                try:
-                    self.engine.run(cas)
-                except AnnotatorError as exc:
-                    self._record_failure(report, cas, exc)
-                    if not self.continue_on_error:
-                        raise
-                    continue
-                self._record_success(
-                    report, cas, perf_counter() - started
+                self._merge_outcome(
+                    report, self._process_one(item, prepare)
                 )
+            self._check_failure_ratio(report)
             self._complete_consumers(report)
         return report
 
@@ -172,40 +238,84 @@ class CollectionProcessingEngine:
             ) as pool:
                 outcomes = list(
                     pool.map(
-                        lambda item: self._analyze_one(item, prepare),
+                        lambda item: self._process_one(item, prepare),
                         items,
                     )
                 )
             # Merge per-worker streams in stable document order so the
             # consumers observe the exact serial sequence.
-            for cas, exc, elapsed in outcomes:
-                if exc is not None:
-                    if not isinstance(exc, AnnotatorError):
-                        raise exc  # prepare() errors propagate, as serial
-                    self._record_failure(report, cas, exc)
-                    if not self.continue_on_error:
-                        raise exc
-                    continue
-                self._record_success(report, cas, elapsed)
+            for outcome in outcomes:
+                self._merge_outcome(report, outcome)
+            self._check_failure_ratio(report)
             self._complete_consumers(report)
         return report
 
-    def _analyze_one(
+    def _process_one(
         self,
         item: Any,
         prepare: Optional[Callable[[Any], Cas]],
-    ) -> Tuple[Optional[Cas], Optional[BaseException], float]:
-        """Worker body: prepare + engine, never raising across the pool."""
-        cas: Optional[Cas] = None
-        try:
-            cas = item if prepare is None else prepare(item)
+    ) -> _Outcome:
+        """Worker body: prepare + engine under retry, never raising.
+
+        The returned elapsed time covers only the final attempt (retry
+        backoff must not count against the document's deadline).
+        """
+        state = {"cas": None, "prepared": prepare is None}
+
+        def attempt() -> float:
             started = perf_counter()
-            self.engine.run(cas)
-            return cas, None, perf_counter() - started
-        except BaseException as exc:  # re-raised or recorded by merge
-            return cas, exc, 0.0
+            if prepare is not None:
+                state["cas"] = prepare(item)
+                state["prepared"] = True
+            else:
+                state["cas"] = item
+            self.engine.run(state["cas"])
+            return perf_counter() - started
+
+        try:
+            if self.retry is not None:
+                elapsed = self.retry.call(attempt, metric="cpe.retry")
+            else:
+                elapsed = attempt()
+        except TransientError as exc:
+            return _Outcome(state["cas"], "quarantined", exc, 0.0)
+        except AnnotatorError as exc:
+            if not state["prepared"]:
+                # prepare() raised a hard error: propagate, as before
+                # the fault layer (the collection itself is broken).
+                return _Outcome(state["cas"], "fatal", exc, 0.0)
+            return _Outcome(state["cas"], "failed", exc, 0.0)
+        except BaseException as exc:  # re-raised by the merge loop
+            return _Outcome(state["cas"], "fatal", exc, 0.0)
+        if (self.deadline_seconds is not None
+                and elapsed > self.deadline_seconds):
+            return _Outcome(
+                state["cas"],
+                "quarantined",
+                DeadlineExceededError(
+                    f"document processing took {elapsed:.3f}s "
+                    f"(deadline {self.deadline_seconds:.3f}s)"
+                ),
+                elapsed,
+            )
+        return _Outcome(state["cas"], "ok", None, elapsed)
 
     # -- shared bookkeeping -------------------------------------------------
+
+    def _merge_outcome(self, report: CpeReport, outcome: _Outcome) -> None:
+        if outcome.status == "fatal":
+            raise outcome.error
+        if outcome.status == "failed":
+            self._record_failure(report, outcome.cas, outcome.error)
+            if not self.continue_on_error:
+                raise outcome.error
+            return
+        if outcome.status == "quarantined":
+            self._record_quarantine(report, outcome.cas, outcome.error)
+            if not self.continue_on_error:
+                raise outcome.error
+            return
+        self._record_success(report, outcome.cas, outcome.elapsed)
 
     def _record_success(
         self, report: CpeReport, cas: Cas, elapsed: float
@@ -223,6 +333,25 @@ class CollectionProcessingEngine:
         report.documents_failed += 1
         report.failures.append(_describe_failure(cas, exc))
         get_registry().inc("cpe.documents_failed")
+
+    def _record_quarantine(
+        self, report: CpeReport, cas: Optional[Cas], exc: BaseException
+    ) -> None:
+        report.documents_quarantined += 1
+        report.quarantined.append(_describe_failure(cas, exc))
+        get_registry().inc("cpe.documents_quarantined")
+
+    def _check_failure_ratio(self, report: CpeReport) -> None:
+        if report.failure_ratio > self.max_failure_ratio:
+            get_registry().inc("cpe.builds_aborted")
+            raise BuildAbortedError(
+                f"build aborted: {report.documents_failed} failed + "
+                f"{report.documents_quarantined} quarantined of "
+                f"{report.documents_processed + report.documents_failed + report.documents_quarantined}"
+                f" documents ({report.failure_ratio:.0%} > "
+                f"max_failure_ratio {self.max_failure_ratio:.0%})",
+                report=report,
+            )
 
     def _complete_consumers(self, report: CpeReport) -> None:
         with get_tracer().span("cpe.consumers_complete"):

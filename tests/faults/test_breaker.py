@@ -1,0 +1,134 @@
+"""Unit tests for the circuit breaker (repro.faults.breaker)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    QuerySyntaxError,
+)
+from repro.faults import CircuitBreaker
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _breaker(clock, threshold=3, recovery=10.0, **kwargs):
+    return CircuitBreaker(
+        "test", failure_threshold=threshold,
+        recovery_seconds=recovery, clock=clock, **kwargs
+    )
+
+
+def _fail():
+    raise InjectedFaultError("substrate down")
+
+
+class TestCircuitBreaker:
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+
+    def test_success_passes_through(self, registry):
+        breaker = _breaker(FakeClock())
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CLOSED
+
+    def test_opens_at_threshold(self, registry):
+        breaker = _breaker(FakeClock(), threshold=3)
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                breaker.call(_fail)
+        assert breaker.state == OPEN
+        assert registry.counters["breaker.open"].value == 1
+        assert registry.counters["breaker.open.test"].value == 1
+        assert registry.gauges["breaker.state.test"].value == 2
+
+    def test_open_rejects_without_calling(self, registry):
+        breaker = _breaker(FakeClock(), threshold=1)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: calls.append(1))
+        assert calls == []
+        assert registry.counters["breaker.rejected.test"].value == 1
+
+    def test_success_resets_failure_count(self, registry):
+        breaker = _breaker(FakeClock(), threshold=2)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        breaker.call(lambda: "ok")
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert breaker.state == CLOSED  # count restarted after success
+
+    def test_half_open_probe_success_closes(self, registry):
+        clock = FakeClock()
+        breaker = _breaker(clock, threshold=1, recovery=10.0)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CLOSED
+        assert registry.gauges["breaker.state.test"].value == 0
+
+    def test_half_open_probe_failure_reopens(self, registry):
+        clock = FakeClock()
+        breaker = _breaker(clock, threshold=1, recovery=10.0)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        clock.advance(10.0)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert breaker.state == OPEN
+        assert registry.counters["breaker.open"].value == 2
+        # The fresh open needs a fresh recovery window.
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "ok")
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_ignored_exceptions_do_not_trip(self, registry):
+        breaker = _breaker(
+            FakeClock(), threshold=1,
+            trip_on=(Exception,), ignore=(QuerySyntaxError,),
+        )
+        with pytest.raises(QuerySyntaxError):
+            breaker.call(
+                lambda: (_ for _ in ()).throw(QuerySyntaxError("bad"))
+            )
+        assert breaker.state == CLOSED
+
+    def test_unclassified_exceptions_do_not_trip(self, registry):
+        breaker = _breaker(FakeClock(), threshold=1)
+        with pytest.raises(KeyError):
+            breaker.call(lambda: {}["missing"])
+        assert breaker.state == CLOSED
+
+    def test_circuit_open_error_is_transient(self, registry):
+        from repro.errors import TransientError
+
+        breaker = _breaker(FakeClock(), threshold=1)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        with pytest.raises(TransientError):
+            breaker.call(lambda: "ok")

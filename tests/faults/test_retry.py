@@ -1,0 +1,98 @@
+"""Unit tests for the retry policy (repro.faults.retry)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import InjectedFaultError, QuerySyntaxError
+from repro.faults import RetryPolicy
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+def _flaky(failures, exc=InjectedFaultError):
+    """A callable failing ``failures`` times, then returning "ok"."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc("transient")
+        return "ok"
+
+    return fn
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_first_try_success_records_nothing(self, registry):
+        policy = RetryPolicy(sleep=lambda s: None)
+        assert policy.call(lambda: 42) == 42
+        assert "retry.attempts" not in registry.counters
+
+    def test_recovers_within_budget(self, registry):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda s: None)
+        assert policy.call(_flaky(2)) == "ok"
+        assert registry.counters["retry.attempts"].value == 2
+        assert registry.counters["retry.recovered"].value == 1
+
+    def test_exhausts_and_reraises(self, registry):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda s: None)
+        with pytest.raises(InjectedFaultError):
+            policy.call(_flaky(5))
+        assert registry.counters["retry.attempts"].value == 2
+        assert registry.counters["retry.exhausted"].value == 1
+
+    def test_non_retryable_fails_immediately(self, registry):
+        policy = RetryPolicy(max_attempts=5, sleep=lambda s: None)
+        with pytest.raises(QuerySyntaxError):
+            policy.call(_flaky(1, exc=QuerySyntaxError))
+        assert "retry.attempts" not in registry.counters
+
+    def test_custom_metric_prefix(self, registry):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda s: None)
+        policy.call(_flaky(1), metric="cpe.retry")
+        assert registry.counters["cpe.retry.attempts"].value == 1
+        assert registry.counters["cpe.retry.recovered"].value == 1
+
+    def test_metric_none_disables_counting(self, registry):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda s: None)
+        policy.call(_flaky(1), metric=None)
+        assert "retry.attempts" not in registry.counters
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=0.03, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.03)
+        assert policy.delay(9) == pytest.approx(0.03)  # capped
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = RetryPolicy(jitter=0.5, seed=9)
+        b = RetryPolicy(jitter=0.5, seed=9)
+        for attempt in (1, 2, 3):
+            assert a.delay(attempt) == b.delay(attempt)
+            raw = min(
+                a.max_delay,
+                a.base_delay * a.multiplier ** (attempt - 1),
+            )
+            assert 0.75 * raw <= a.delay(attempt) <= 1.25 * raw
+
+    def test_sleeps_between_attempts(self, registry):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, jitter=0.0, base_delay=0.01,
+            sleep=slept.append,
+        )
+        policy.call(_flaky(2))
+        assert slept == pytest.approx([0.01, 0.02])

@@ -1,0 +1,214 @@
+"""The fault matrix: component x fault type x rate, end to end.
+
+The contract under test (ISSUE acceptance criteria):
+
+* a 20% fault rate on any single component leaves the offline build
+  able to complete — failing units are quarantined and reported, the
+  rest of the corpus survives — and the online path able to answer
+  (possibly degraded, never by crashing);
+* outcomes are deterministic under a fixed injector seed, and the PR 2
+  invariant (2-worker parallel build == serial build) holds for the
+  surviving documents even while faults are being injected;
+* the ``max_failure_ratio`` gate turns a corpus-wide failure into a
+  structured :class:`BuildAbortedError` instead of silently shipping an
+  empty system.
+"""
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User, obs
+from repro.core.metaqueries import scope_query, service_keyword_query
+from repro.errors import BuildAbortedError, EILUnavailableError
+from repro.faults import (
+    FaultInjector,
+    FaultProfile,
+    RetryPolicy,
+    use_injector,
+)
+
+SALES = User("u", frozenset({"sales"}))
+COMPONENTS = ("repository", "crawler", "analysis", "db", "index")
+FAULT_KINDS = ("error", "timeout")
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusGenerator(
+        CorpusConfig(n_deals=3, docs_per_deal=12)
+    ).generate()
+
+
+def _fast_retry(max_attempts=3):
+    return RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.0, max_delay=0.0
+    )
+
+
+def _build(corpus, spec, seed=0, workers=1, **kwargs):
+    kwargs.setdefault("retry", _fast_retry())
+    injector = (
+        FaultInjector(FaultProfile.parse(spec), seed=seed)
+        if spec else FaultInjector()
+    )
+    with use_injector(injector):
+        return EILSystem.build(corpus, workers=workers, **kwargs)
+
+
+def _query_outcomes(eil, corpus, spec, seed=0):
+    """Degradation flags for a small query workload under ``spec``."""
+    forms = (
+        scope_query("End User Services"),
+        service_keyword_query("End User Services", "service"),
+    )
+    injector = FaultInjector(FaultProfile.parse(spec), seed=seed)
+    outcomes = []
+    with use_injector(injector):
+        for form in forms:
+            try:
+                results = eil.search(form, SALES)
+            except EILUnavailableError:
+                outcomes.append("unavailable")
+            else:
+                outcomes.append(results.degraded or "full")
+    return outcomes
+
+
+class TestSingleComponentTwentyPercent:
+    """The headline acceptance criterion, one cell per component."""
+
+    @pytest.mark.parametrize("component", COMPONENTS)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_build_completes_and_answers(self, corpus, registry,
+                                         component, kind):
+        spec = f"{component}:{kind}=0.2"
+        eil = _build(corpus, spec)
+        report = eil.build_report
+        assert report is not None, "build must complete"
+        results = eil.analysis_results
+        # Quarantine accounting: every charged document is either
+        # processed, failed, or quarantined-with-a-reason.
+        assert results.documents_quarantined == len(results.quarantined)
+        assert results.documents_failed == 0
+        assert results.documents_processed > 0
+        # The system stays queryable under the same injection.
+        for outcome in _query_outcomes(eil, corpus, spec):
+            assert outcome in ("full", "no-synopsis", "no-index")
+
+    def test_latency_injection_only_slows(self, corpus, registry):
+        spec = "analysis:latency=0.001"
+        eil = _build(corpus, spec)
+        assert eil.analysis_results.documents_quarantined == 0
+        counter = registry.counters["faults.injected.analysis.latency"]
+        assert counter.value == eil.analysis_results.documents_processed
+
+
+class TestDeterminism:
+    """Fixed seed => fixed outcomes, regardless of worker count."""
+
+    @pytest.mark.parametrize("component", ("analysis", "repository"))
+    def test_two_serial_builds_identical(self, corpus, registry,
+                                         component):
+        spec = f"{component}:error=0.6"
+        first = _build(corpus, spec, seed=5)
+        second = _build(corpus, spec, seed=5)
+        assert first.analysis_results == second.analysis_results
+        assert first.analysis_results.quarantined, (
+            "60% without quarantines means the cell tested nothing"
+        )
+
+    def test_different_seeds_differ(self, corpus, registry):
+        spec = "analysis:error=0.6"
+        a = _build(corpus, spec, seed=1).analysis_results
+        b = _build(corpus, spec, seed=2).analysis_results
+        assert a.quarantined != b.quarantined
+
+    @pytest.mark.parametrize("component", ("analysis", "repository",
+                                           "crawler"))
+    def test_parallel_build_matches_serial_under_injection(
+        self, corpus, registry, component
+    ):
+        # The PR 2 invariant, under fire: keyed fault decisions hash on
+        # document identity, so worker scheduling cannot change which
+        # documents survive.
+        spec = f"{component}:error=0.6"
+        serial = _build(corpus, spec, seed=7, workers=1)
+        parallel = _build(corpus, spec, seed=7, workers=2)
+        assert serial.analysis_results == parallel.analysis_results
+        assert (
+            serial.build_report.documents_indexed
+            == parallel.build_report.documents_indexed
+        )
+
+    def test_query_outcomes_deterministic(self, corpus, registry):
+        eil = _build(corpus, None)
+        spec = "db:error=0.5;index:error=0.5"
+        first = _query_outcomes(eil, corpus, spec, seed=9)
+        eil._search._cache.clear()
+        second = _query_outcomes(eil, corpus, spec, seed=9)
+        assert first == second
+
+
+class TestFailureBudget:
+    def test_max_failure_ratio_aborts_structured(self, corpus, registry):
+        with pytest.raises(BuildAbortedError) as excinfo:
+            _build(
+                corpus, "analysis:error=1.0",
+                retry=_fast_retry(max_attempts=1),
+                max_failure_ratio=0.5,
+            )
+        report = excinfo.value.report
+        assert report is not None
+        assert report.failure_ratio > 0.5
+        assert report.quarantined, "the abort must carry the evidence"
+        assert registry.counters["cpe.builds_aborted"].value == 1
+
+    def test_total_quarantine_within_budget_completes(self, corpus,
+                                                      registry):
+        # max_failure_ratio=1.0 (the default) tolerates even a fully
+        # quarantined corpus: the build completes, empty but honest.
+        eil = _build(
+            corpus, "analysis:error=1.0",
+            retry=_fast_retry(max_attempts=1),
+        )
+        results = eil.analysis_results
+        assert results.documents_processed == 0
+        assert results.documents_quarantined == len(results.quarantined)
+        assert results.documents_quarantined > 0
+
+    def test_deadline_overruns_quarantine(self, corpus, registry):
+        eil = _build(corpus, None, deadline_seconds=1e-9)
+        results = eil.analysis_results
+        assert results.documents_processed == 0
+        assert results.documents_quarantined > 0
+        assert any(
+            "DeadlineExceededError" in line
+            for line in results.quarantined
+        )
+
+
+class TestQuarantineReporting:
+    def test_quarantine_lines_name_the_documents(self, corpus, registry):
+        eil = _build(
+            corpus, "analysis:error=1.0",
+            retry=_fast_retry(max_attempts=1),
+        )
+        for line in eil.analysis_results.quarantined:
+            assert "InjectedFaultError" in line
+
+    def test_workbook_quarantine_names_the_deal(self, corpus, registry):
+        eil = _build(
+            corpus, "repository:error=1.0",
+            retry=_fast_retry(max_attempts=1),
+        )
+        results = eil.analysis_results
+        assert results.quarantined
+        assert all("deal" in line for line in results.quarantined)
+        assert all(
+            "documents skipped" in line for line in results.quarantined
+        )

@@ -69,3 +69,48 @@ class TestLruCache:
         cache.put("a", 1)
         assert "a" in cache
         assert "b" not in cache
+
+
+class _Value:
+    """A cacheable stand-in with the degraded/partial convention."""
+
+    def __init__(self, degraded=None, partial=False):
+        self.degraded = degraded
+        self.partial = partial
+
+
+class TestDegradedBypass:
+    def test_storable_classification(self):
+        assert LruCache.storable("plain value")
+        assert LruCache.storable(_Value())
+        assert not LruCache.storable(_Value(degraded="no-synopsis"))
+        assert not LruCache.storable(_Value(partial=True))
+
+    def test_degraded_value_never_stored(self, registry):
+        cache = LruCache("t.cache", 4)
+        cache.put("k", _Value(degraded="no-index"))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert registry.counters["t.cache.bypassed"].value == 1
+
+    def test_partial_value_never_stored(self, registry):
+        cache = LruCache("t.cache", 4)
+        cache.put("k", _Value(partial=True))
+        assert "k" not in cache
+        assert registry.counters["t.cache.bypassed"].value == 1
+
+    def test_bypass_does_not_evict_good_entry(self, registry):
+        # A degraded put for an existing key must not clobber the
+        # full-fidelity entry already cached under it.
+        cache = LruCache("t.cache", 4)
+        good = _Value()
+        cache.put("k", good)
+        cache.put("k", _Value(degraded="no-synopsis"))
+        assert cache.get("k") is good
+
+    def test_clean_value_still_cached(self, registry):
+        cache = LruCache("t.cache", 4)
+        value = _Value()
+        cache.put("k", value)
+        assert cache.get("k") is value
+        assert "t.cache.bypassed" not in registry.counters
