@@ -249,6 +249,14 @@ def _stats_workload(eil: EILSystem, corpus, rounds: int) -> None:
                 pass
         try:
             eil.keyword_search("end user services")
+            # A limited OR query exercises the top-k executor: the
+            # engine.maxscore.* counters and the engine.postings_touched
+            # reduction show up in the stats report.
+            eil.keyword_search(
+                "migration OR replication OR services OR storage "
+                "OR network",
+                limit=5,
+            )
         except TransientError:
             # The baseline has no degradation ladder (by design); a
             # persistent injected outage must not kill the stats run.

@@ -10,6 +10,7 @@ performs the weighted combination and deterministic ordering.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -63,8 +64,14 @@ class RankCombiner:
         self,
         synopsis: Dict[str, SynopsisMatch],
         siapi: Optional[List[ActivityHits]],
+        limit: Optional[int] = None,
     ) -> List[RankedActivity]:
-        """Merge both sources into a deterministic ranking."""
+        """Merge both sources into a deterministic ranking.
+
+        ``limit`` keeps only the best activities, selected with a
+        bounded heap instead of sorting the full merge — identical to
+        the head of the unlimited ranking (ties break by deal id).
+        """
         siapi_by_deal: Dict[str, ActivityHits] = {
             group.activity_id: group for group in (siapi or [])
         }
@@ -95,6 +102,10 @@ class RankCombiner:
                     else [],
                     hits=list(siapi_group.hits) if siapi_group else [],
                 )
+            )
+        if limit is not None and limit < len(ranked):
+            return heapq.nsmallest(
+                limit, ranked, key=lambda a: (-a.score, a.deal_id)
             )
         ranked.sort(key=lambda a: (-a.score, a.deal_id))
         return ranked

@@ -271,14 +271,24 @@ class BusinessActivityDrivenSearch:
             self.retry.call, self.synopsis_search.execute, form
         )
 
-    def _siapi_grouped(self, siapi_query, scope, per_activity_documents):
-        """The SIAPI query under retry + breaker (steps 8 / 14)."""
+    def _siapi_grouped(
+        self, siapi_query, scope, per_activity_documents,
+        activity_limit=None,
+    ):
+        """The SIAPI query under retry + breaker (steps 8 / 14).
+
+        ``activity_limit`` is only safe on *unscoped* branches where
+        the final ranking is keyword-only (no synopsis scores to merge
+        in): there the top activities by SIAPI score are exactly the
+        top activities overall, so the tail can be dropped early.
+        """
         return self.siapi_breaker.call(
             self.retry.call,
             self.siapi.search_grouped,
             siapi_query,
             scope=scope,
             per_activity_limit=per_activity_documents,
+            activity_limit=activity_limit,
         )
 
     def _record_degraded(self, flag: str, plan: List[str], note: str) -> None:
@@ -354,7 +364,8 @@ class BusinessActivityDrivenSearch:
                 try:
                     with tracer.span("query.siapi", scoped=False):
                         siapi_groups = self._siapi_grouped(
-                            siapi_query, None, per_activity_documents
+                            siapi_query, None, per_activity_documents,
+                            activity_limit=limit,
                         )
                 except _INDEX_OUTAGES as exc:
                     metrics.inc("query.siapi_unavailable")
@@ -427,6 +438,7 @@ class BusinessActivityDrivenSearch:
                             siapi_groups = self._siapi_grouped(
                                 siapi_query, None,
                                 per_activity_documents,
+                                activity_limit=limit,
                             )
                     except _INDEX_OUTAGES as exc:
                         # Synopsis answered (nothing), index is down:
@@ -451,13 +463,13 @@ class BusinessActivityDrivenSearch:
                     metrics.inc("query.empty_results")
                     return EilResults(plan=plan)
 
-            # Step 18: rank.
+            # Step 18: rank.  The limit rides into the combiner so the
+            # merge selects top-k with a bounded heap instead of
+            # ranking every activity and slicing.
             with tracer.span("query.rank"):
                 ranked = self.combiner.combine(
-                    synopsis_matches, siapi_groups
+                    synopsis_matches, siapi_groups, limit=limit
                 )
-                if limit is not None:
-                    ranked = ranked[:limit]
 
             # Step 19: present under access control.
             with tracer.span("query.present"):

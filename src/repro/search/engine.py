@@ -1,17 +1,61 @@
 """The keyword search engine (OmniFind substitute).
 
-Interprets the query AST over the inverted index, scores hits with BM25
+Executes the query AST over the inverted index, scores hits with BM25
 (configurable), and returns ranked :class:`SearchHit` lists with
 snippets.  A ``doc_filter`` restricts the searchable set — this is the
 hook the SIAPI facade uses to scope a search to the business activities
 selected by the synopsis query (paper Fig. 1, step 8).
+
+Execution model (docs/ARCHITECTURE.md, "Query execution engine"):
+queries run through a small planner/executor rather than a naive
+interpreter.
+
+* **Bulk scoring** — each (term, field) is scored over its compiled
+  flat posting array (:class:`~repro.search.inverted_index
+  .TermPostings`) in one ``score_postings`` call: idf and the length
+  norm constants are computed once, each hit costs a multiply-add.
+* **df-ordered AND** — conjunction clauses evaluate in ascending
+  document-frequency order and the running intersection is pushed into
+  every later clause's posting traversal, so big terms only score
+  documents the small terms already admitted.
+* **Filter pushdown** — an id-set ``doc_filter`` (the SIAPI activity
+  scope) is intersected during posting traversal; out-of-scope
+  documents are never scored.
+* **Top-k + MaxScore** — with a ``limit``, OR/hybrid queries select
+  hits with a bounded heap instead of a full sort, and whole OR
+  clauses are skipped once their score upper bound drops below the
+  running k-th best score.
+
+Every optimization is individually toggleable through
+:class:`ExecutionOptions`; ``ExecutionOptions.exhaustive()`` reproduces
+the original interpreter and serves as the reference mode.  Pruned and
+exhaustive execution return **identical rankings** (same documents,
+bit-identical scores, same tie-breaks) — the scorers share their
+arithmetic between per-document and bulk paths, AND contributions are
+summed in clause order regardless of evaluation order, and MaxScore
+only skips a clause when its bound is *strictly* below the k-th best
+score.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import re
 from collections.abc import Set as AbstractSet
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.cache import LruCache
 from repro.errors import SearchError
@@ -31,13 +75,639 @@ from repro.search.querylang import (
 )
 from repro.search.scoring import Bm25Scorer, Scorer
 
-__all__ = ["SearchEngine"]
+__all__ = ["SearchEngine", "ExecutionOptions"]
 
 DocFilter = Union[AbstractSet[str], Callable[[IndexableDocument], bool], None]
 
+#: Phrase matches are stronger evidence than the bag of words.
+_PHRASE_BOOST = 1.25
+
+# When an id-set filter is much smaller than a posting list, probe the
+# filter against the index instead of scanning the posting array.
+_PROBE_RATIO = 8
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Per-optimization toggles for the query executor.
+
+    The defaults enable everything; :meth:`exhaustive` disables
+    everything and reproduces the original interpreter (per-document
+    scoring, clause-order evaluation, post-hoc filtering, full sort) —
+    the reference mode the equivalence suite and the benchmark ablation
+    compare against.
+
+    Attributes:
+        bulk_scoring: Score compiled posting arrays via
+            ``Scorer.score_postings`` instead of one ``Scorer.score``
+            call per (term, document).
+        df_ordering: Evaluate AND clauses in ascending df order and
+            push the running intersection into later clauses (also
+            restricts phrase member-term scoring to phrase documents).
+        filter_pushdown: Intersect id-set ``doc_filter``s during
+            posting traversal instead of after scoring.  Predicate
+            filters always apply post-hoc (they have no id set to push).
+        maxscore: Prune whole OR clauses whose score upper bound falls
+            strictly below the running k-th best score (requires a
+            ``limit``; automatically disabled for predicate filters and
+            for scorers without ``upper_bound``).
+        top_k_heap: Select the top ``limit`` hits with a bounded heap
+            instead of sorting every candidate.
+    """
+
+    bulk_scoring: bool = True
+    df_ordering: bool = True
+    filter_pushdown: bool = True
+    maxscore: bool = True
+    top_k_heap: bool = True
+
+    @classmethod
+    def exhaustive(cls) -> "ExecutionOptions":
+        """The reference mode: every optimization off."""
+        return cls(
+            bulk_scoring=False,
+            df_ordering=False,
+            filter_pushdown=False,
+            maxscore=False,
+            top_k_heap=False,
+        )
+
+
+class _CachedRanking:
+    """One cached ranking: an immutable hit tuple plus its coverage.
+
+    ``limit is None`` means the ranking is complete; otherwise it holds
+    the top ``limit`` hits and can serve any request asking for that
+    many or fewer.  (A limited computation that found fewer hits than
+    its limit is stored as complete — nothing was cut off.)
+    """
+
+    __slots__ = ("hits", "limit")
+
+    def __init__(self, hits: Tuple[SearchHit, ...], limit: Optional[int]):
+        self.hits = hits
+        self.limit = (
+            None if limit is not None and len(hits) < limit else limit
+        )
+
+    def covers(self, requested: Optional[int]) -> bool:
+        if self.limit is None:
+            return True
+        return requested is not None and requested <= self.limit
+
+    def slice(self, requested: Optional[int]) -> List[SearchHit]:
+        if requested is None:
+            return list(self.hits)
+        return list(self.hits[:requested])
+
+
+class _Execution:
+    """One query evaluation: options, normalized filter, scratch state.
+
+    The executor keeps per-search state (memoized query-term analysis,
+    candidate counts for metrics) out of the engine so concurrent
+    searches never share mutables.
+    """
+
+    def __init__(
+        self,
+        engine: "SearchEngine",
+        options: ExecutionOptions,
+        doc_filter: DocFilter,
+    ) -> None:
+        self.engine = engine
+        self.index = engine.index
+        self.scorer = engine.scorer
+        self.boosts = engine.field_boosts
+        self.options = options
+        self.metrics = get_registry()
+        self.filter_ids: Optional[frozenset] = None
+        self.predicate: Optional[Callable[[IndexableDocument], bool]] = None
+        if doc_filter is None:
+            pass
+        elif isinstance(doc_filter, AbstractSet):
+            self.filter_ids = frozenset(doc_filter)
+        elif callable(doc_filter):
+            self.predicate = doc_filter
+        else:
+            raise SearchError(
+                f"doc_filter must be a set of ids or a predicate, "
+                f"got {type(doc_filter).__name__}"
+            )
+        # Id sets push into traversal only when the option is on; the
+        # post-filter picks up whatever was not pushed.
+        self.push_ids = (
+            self.filter_ids if options.filter_pushdown else None
+        )
+        self._terms_cache: Dict[str, List[str]] = {}
+        self.n_candidates = 0
+        self.n_after_filter = 0
+
+    # -- entry ----------------------------------------------------------------
+
+    def ranked(
+        self, query: Query, limit: Optional[int]
+    ) -> List[Tuple[str, float]]:
+        """Evaluate ``query`` and return the (doc_id, score) ranking."""
+        if self._prunable(query, limit):
+            scores = self._or_top_k(query, limit)
+        else:
+            scores = self.match(query)
+        self.n_candidates = len(scores)
+        scores = self._post_filter(scores)
+        self.n_after_filter = len(scores)
+        return self._select(scores, limit)
+
+    def count_docs(self, query: Query) -> int:
+        """Number of matching documents (membership only, no scoring)."""
+        docs = self.match_docs(query)
+        if self.filter_ids is not None:
+            docs &= self.filter_ids
+        if self.predicate is not None:
+            docs = {
+                doc_id
+                for doc_id in docs
+                if self.predicate(self.index.document(doc_id))
+            }
+        return len(docs)
+
+    def _prunable(self, query: Query, limit: Optional[int]) -> bool:
+        """MaxScore applies to root OR queries under safe conditions.
+
+        A predicate filter (or an un-pushed id filter) would thin the
+        candidate set *after* pruning decisions, making the running
+        threshold unsound — those searches fall back to full
+        evaluation.
+        """
+        return (
+            limit is not None
+            and limit > 0
+            and self.options.maxscore
+            and isinstance(query, OrQuery)
+            and self.predicate is None
+            and (self.filter_ids is None or self.push_ids is not None)
+            and hasattr(self.scorer, "upper_bound")
+        )
+
+    def _post_filter(
+        self, scores: Dict[str, float]
+    ) -> Dict[str, float]:
+        if self.filter_ids is not None and self.push_ids is None:
+            scores = {
+                doc_id: score
+                for doc_id, score in scores.items()
+                if doc_id in self.filter_ids
+            }
+        if self.predicate is not None:
+            scores = {
+                doc_id: score
+                for doc_id, score in scores.items()
+                if self.predicate(self.index.document(doc_id))
+            }
+        return scores
+
+    def _select(
+        self, scores: Dict[str, float], limit: Optional[int]
+    ) -> List[Tuple[str, float]]:
+        def sort_key(item: Tuple[str, float]) -> Tuple[float, str]:
+            return (-item[1], item[0])
+
+        if (
+            limit is not None
+            and self.options.top_k_heap
+            and limit < len(scores)
+        ):
+            return heapq.nsmallest(limit, scores.items(), key=sort_key)
+        ranked = sorted(scores.items(), key=sort_key)
+        return ranked[:limit] if limit is not None else ranked
+
+    # -- scored evaluation ----------------------------------------------------
+
+    def match(
+        self, query: Query, restrict: Optional[Set[str]] = None
+    ) -> Dict[str, float]:
+        """Evaluate a query node to doc_id -> score.
+
+        ``restrict`` narrows evaluation to a candidate set the caller
+        already established (the running AND intersection); restricting
+        never changes a surviving document's score, only skips
+        documents the caller would discard anyway.
+        """
+        if isinstance(query, TermQuery):
+            return self.match_term(query, restrict)
+        if isinstance(query, PhraseQuery):
+            return self.match_phrase(query, restrict)
+        if isinstance(query, AndQuery):
+            return self.match_and(query.clauses, restrict)
+        if isinstance(query, OrQuery):
+            return self.match_or(query.clauses, restrict)
+        if isinstance(query, NotQuery):
+            # A bare negation matches everything except the clause; at
+            # top level that is "all documents minus matches" with a
+            # flat score, mirroring common engine behaviour.
+            excluded = self.match_docs(query.clause)
+            universe = self._universe(restrict)
+            return {doc_id: 0.0 for doc_id in universe - excluded}
+        raise SearchError(f"unknown query node {query!r}")
+
+    def match_term(
+        self, query: TermQuery, restrict: Optional[Set[str]] = None
+    ) -> Dict[str, float]:
+        terms = self._analyze(query.text)
+        if not terms:
+            return {}
+        if len(terms) > 1:
+            # A "term" that analyzes into several tokens (hyphens etc.)
+            # behaves as an implicit AND of its parts.
+            return self.match_and(
+                tuple(TermQuery(t, query.field) for t in terms), restrict
+            )
+        return self.score_term(terms[0], query.field, restrict)
+
+    def score_term(
+        self,
+        term: str,
+        field: Optional[str],
+        restrict: Optional[Set[str]] = None,
+    ) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        fields = [field] if field is not None else self.index.fields
+        self.metrics.inc("engine.terms_scored")
+        allowed = self._combine_restrict(restrict)
+        for field_name in fields:
+            boost = self.boosts.get(field_name, 1.0)
+            if self.options.bulk_scoring and hasattr(
+                self.scorer, "score_postings"
+            ):
+                self._score_field_bulk(
+                    term, field_name, boost, allowed, scores
+                )
+            else:
+                self._score_field_per_doc(
+                    term, field_name, boost, allowed, scores
+                )
+        return scores
+
+    def _score_field_bulk(
+        self,
+        term: str,
+        field_name: str,
+        boost: float,
+        allowed: Optional[Set[str]],
+        scores: Dict[str, float],
+    ) -> None:
+        compiled = self.index.term_postings(term, field_name)
+        if compiled is None:
+            return
+        df = len(compiled)
+        if allowed is None:
+            doc_ids: Sequence[str] = compiled.doc_ids
+            tfs: Sequence[int] = compiled.tfs
+            lengths: Sequence[int] = compiled.lengths
+        elif not allowed:
+            return
+        elif len(allowed) * _PROBE_RATIO < df:
+            # Tiny filter against a long posting list: probe the filter
+            # ids instead of scanning the whole array.
+            doc_ids, tfs, lengths = [], [], []
+            for doc_id in allowed:
+                tf = self.index.term_frequency(term, doc_id, field_name)
+                if tf == 0:
+                    continue
+                doc_ids.append(doc_id)
+                tfs.append(tf)
+                lengths.append(
+                    self.index.field_length(field_name, doc_id)
+                )
+        else:
+            keep = [
+                i
+                for i, doc_id in enumerate(compiled.doc_ids)
+                if doc_id in allowed
+            ]
+            doc_ids = [compiled.doc_ids[i] for i in keep]
+            tfs = [compiled.tfs[i] for i in keep]
+            lengths = [compiled.lengths[i] for i in keep]
+        if not doc_ids:
+            return
+        self.metrics.inc("engine.postings_touched", len(doc_ids))
+        contributions = self.scorer.score_postings(
+            self.index, term, field_name, tfs, lengths, df=df
+        )
+        for doc_id, contribution in zip(doc_ids, contributions):
+            scores[doc_id] = (
+                scores.get(doc_id, 0.0) + boost * contribution
+            )
+
+    def _score_field_per_doc(
+        self,
+        term: str,
+        field_name: str,
+        boost: float,
+        allowed: Optional[Set[str]],
+        scores: Dict[str, float],
+    ) -> None:
+        matching = self.index.matching_docs(term, field_name)
+        df = len(matching)  # computed once per (term, field)
+        if allowed is not None:
+            matching &= allowed
+        self.metrics.inc("engine.postings_touched", len(matching))
+        for doc_id in matching:
+            contribution = self.scorer.score(
+                self.index, term, doc_id, field_name, df=df
+            )
+            scores[doc_id] = (
+                scores.get(doc_id, 0.0) + boost * contribution
+            )
+
+    def match_phrase(
+        self, query: PhraseQuery, restrict: Optional[Set[str]] = None
+    ) -> Dict[str, float]:
+        terms = self._analyze(query.text)
+        if not terms:
+            return {}
+        if len(terms) == 1:
+            return self.score_term(terms[0], query.field, restrict)
+        docs = self.index.phrase_docs(terms, query.field)
+        allowed = self._combine_restrict(restrict)
+        if allowed is not None:
+            docs &= allowed
+        if not docs:
+            return {}
+        # Score each member term, then sum per phrase document
+        # (per-document rescoring is quadratic).  The planner restricts
+        # member scoring to the phrase documents themselves; the
+        # reference mode scores each member over its full matching set.
+        member_restrict = docs if self.options.df_ordering else None
+        contributions = [
+            self.score_term(term, query.field, member_restrict)
+            for term in terms
+        ]
+        scores: Dict[str, float] = {}
+        for doc_id in docs:
+            total = sum(c.get(doc_id, 0.0) for c in contributions)
+            scores[doc_id] = total * _PHRASE_BOOST
+        return scores
+
+    def match_and(
+        self,
+        clauses: Sequence[Query],
+        restrict: Optional[Set[str]] = None,
+    ) -> Dict[str, float]:
+        positive = [c for c in clauses if not isinstance(c, NotQuery)]
+        negative = [c.clause for c in clauses if isinstance(c, NotQuery)]
+        if not positive:
+            # All clauses negative: everything except the exclusions.
+            excluded: Set[str] = set()
+            for clause in negative:
+                excluded |= self.match_docs(clause)
+            universe = self._universe(restrict)
+            return {doc_id: 0.0 for doc_id in universe - excluded}
+        if self.options.df_ordering:
+            order = sorted(
+                range(len(positive)),
+                key=lambda i: (self.estimate_df(positive[i]), i),
+            )
+        else:
+            order = list(range(len(positive)))
+        parts: List[Optional[Dict[str, float]]] = [None] * len(positive)
+        candidates: Optional[Set[str]] = (
+            set(restrict) if restrict is not None else None
+        )
+        for i in order:
+            # The running intersection narrows every later clause, but
+            # only when the planner is on — the reference mode
+            # evaluates each clause over its full matching set.
+            clause_restrict = (
+                candidates if self.options.df_ordering else restrict
+            )
+            part = self.match(positive[i], clause_restrict)
+            parts[i] = part
+            matched = set(part)
+            candidates = (
+                matched if candidates is None else candidates & matched
+            )
+            if not candidates:
+                return {}
+        for clause in negative:
+            candidates -= self.match_docs(clause)
+            if not candidates:
+                return {}
+        # Sum contributions in original clause order regardless of the
+        # evaluation order, so planned and reference execution produce
+        # bit-identical scores (float addition is not associative).
+        scores: Dict[str, float] = {}
+        for doc_id in candidates:
+            total = parts[0][doc_id]  # type: ignore[index]
+            for part in parts[1:]:
+                total = total + part[doc_id]  # type: ignore[index]
+            scores[doc_id] = total
+        return scores
+
+    def match_or(
+        self,
+        clauses: Sequence[Query],
+        restrict: Optional[Set[str]] = None,
+    ) -> Dict[str, float]:
+        scores: Dict[str, float] = {}
+        for clause in clauses:
+            for doc_id, score in self.match(clause, restrict).items():
+                scores[doc_id] = max(scores.get(doc_id, 0.0), score)
+        return scores
+
+    # -- membership-only evaluation -------------------------------------------
+
+    def match_docs(self, query: Query) -> Set[str]:
+        """Matching document ids without any scoring work.
+
+        Produces exactly the key set :meth:`match` would, at a fraction
+        of the cost — NOT-clause exclusions and ``count`` never need
+        scores.  Always evaluates over the full corpus (exclusion sets
+        are subtracted from already-filtered candidates, so an
+        unfiltered superset is harmless and cheaper than filtering).
+        """
+        if isinstance(query, TermQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return set()
+            docs = self.index.matching_docs(terms[0], query.field)
+            for term in terms[1:]:
+                if not docs:
+                    break
+                docs &= self.index.matching_docs(term, query.field)
+            return docs
+        if isinstance(query, PhraseQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return set()
+            if len(terms) == 1:
+                return self.index.matching_docs(terms[0], query.field)
+            return self.index.phrase_docs(terms, query.field)
+        if isinstance(query, AndQuery):
+            matched: Optional[Set[str]] = None
+            excluded: Set[str] = set()
+            for clause in query.clauses:
+                if isinstance(clause, NotQuery):
+                    excluded |= self.match_docs(clause.clause)
+                    continue
+                docs = self.match_docs(clause)
+                matched = docs if matched is None else matched & docs
+                if not matched:
+                    return set()
+            if matched is None:
+                return self.index.doc_ids - excluded
+            return matched - excluded
+        if isinstance(query, OrQuery):
+            matched = set()
+            for clause in query.clauses:
+                matched |= self.match_docs(clause)
+            return matched
+        if isinstance(query, NotQuery):
+            return self.index.doc_ids - self.match_docs(query.clause)
+        raise SearchError(f"unknown query node {query!r}")
+
+    # -- planning -------------------------------------------------------------
+
+    def estimate_df(self, query: Query) -> int:
+        """Cheap candidate-count estimate for AND clause ordering."""
+        if isinstance(query, TermQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return 0
+            return min(self._term_df(t, query.field) for t in terms)
+        if isinstance(query, PhraseQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return 0
+            return min(self._term_df(t, query.field) for t in terms)
+        if isinstance(query, AndQuery):
+            positive = [
+                c for c in query.clauses if not isinstance(c, NotQuery)
+            ]
+            if not positive:
+                return len(self.index)
+            return min(self.estimate_df(c) for c in positive)
+        if isinstance(query, OrQuery):
+            return sum(self.estimate_df(c) for c in query.clauses)
+        return len(self.index)  # NotQuery: evaluate late
+
+    def _term_df(self, term: str, field: Optional[str]) -> int:
+        if field is not None:
+            return self.index.df(term, field)
+        return sum(self.index.df(term, f) for f in self.index.fields)
+
+    def upper_bound(self, query: Query) -> float:
+        """Upper bound on any document's score for ``query``.
+
+        ``inf`` (scorer without ``upper_bound``) simply makes the
+        clause unprunable — correctness never depends on tightness.
+        """
+        if isinstance(query, TermQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return 0.0
+            return sum(self._term_bound(t, query.field) for t in terms)
+        if isinstance(query, PhraseQuery):
+            terms = self._analyze(query.text)
+            if not terms:
+                return 0.0
+            if len(terms) == 1:
+                return self._term_bound(terms[0], query.field)
+            return _PHRASE_BOOST * sum(
+                self._term_bound(t, query.field) for t in terms
+            )
+        if isinstance(query, AndQuery):
+            return sum(
+                self.upper_bound(c)
+                for c in query.clauses
+                if not isinstance(c, NotQuery)
+            )
+        if isinstance(query, OrQuery):
+            bounds = [self.upper_bound(c) for c in query.clauses]
+            return max(bounds) if bounds else 0.0
+        return 0.0  # NotQuery contributes flat 0.0 scores
+
+    def _term_bound(self, term: str, field: Optional[str]) -> float:
+        if not hasattr(self.scorer, "upper_bound"):
+            return math.inf
+        fields = [field] if field is not None else self.index.fields
+        bound = 0.0
+        for field_name in fields:
+            df = self.index.df(term, field_name)
+            if df == 0:
+                continue
+            boost = self.boosts.get(field_name, 1.0)
+            bound += boost * self.scorer.upper_bound(
+                self.index,
+                term,
+                field_name,
+                df,
+                max_tf=self.index.max_tf(term, field_name),
+            )
+        return bound
+
+    def _or_top_k(
+        self, query: OrQuery, limit: Optional[int]
+    ) -> Dict[str, float]:
+        """MaxScore-style OR evaluation: clauses in descending bound
+        order, stopping once the remaining bounds cannot crack the
+        top k.
+
+        Strict comparison (``bound < theta``) keeps the ranking
+        identical to exhaustive evaluation: a skipped clause can only
+        contribute scores strictly below the current k-th best, so it
+        can neither promote a new document into the top k nor change
+        any top-k document's score (OR combines with ``max``, and every
+        top-k score is already >= theta > bound).
+        """
+        assert limit is not None
+        self.metrics.inc("engine.maxscore.topk_searches")
+        ordered = sorted(
+            ((self.upper_bound(c), i, c) for i, c in enumerate(query.clauses)),
+            key=lambda item: (-item[0], item[1]),
+        )
+        scores: Dict[str, float] = {}
+        for position, (bound, _, clause) in enumerate(ordered):
+            if len(scores) >= limit:
+                theta = heapq.nlargest(limit, scores.values())[-1]
+                if bound < theta:
+                    self.metrics.inc(
+                        "engine.maxscore.clauses_pruned",
+                        len(ordered) - position,
+                    )
+                    break
+            for doc_id, score in self.match(clause).items():
+                scores[doc_id] = max(scores.get(doc_id, 0.0), score)
+        return scores
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _analyze(self, text: str) -> List[str]:
+        terms = self._terms_cache.get(text)
+        if terms is None:
+            terms = self.engine.analyzer.analyze_query_terms(text)
+            self._terms_cache[text] = terms
+        return terms
+
+    def _combine_restrict(
+        self, restrict: Optional[Set[str]]
+    ) -> Optional[Set[str]]:
+        if restrict is None:
+            return self.push_ids
+        if self.push_ids is None:
+            return restrict
+        return restrict & self.push_ids
+
+    def _universe(self, restrict: Optional[Set[str]]) -> Set[str]:
+        universe = self.index.doc_ids
+        allowed = self._combine_restrict(restrict)
+        if allowed is not None:
+            universe &= allowed
+        return universe
+
 
 class SearchEngine:
-    """Index + query interpreter + ranker.
+    """Index + query planner/executor + ranker.
 
     Args:
         analyzer: Shared analysis pipeline (defaults to stemmed+stopped).
@@ -48,7 +718,11 @@ class SearchEngine:
         cache_size: Result-cache capacity (0 disables caching).  Keys
             embed the index ``epoch``, which every ``add``/``remove``
             bumps, so cached results can never outlive the index state
-            they were computed against.
+            they were computed against.  ``limit`` is *not* part of the
+            key: one cached ranking serves every limit it covers, sliced
+            per request.
+        options: Default :class:`ExecutionOptions`; individual searches
+            may override via the ``options`` argument.
     """
 
     def __init__(
@@ -57,11 +731,13 @@ class SearchEngine:
         scorer: Optional[Scorer] = None,
         field_boosts: Optional[Mapping[str, float]] = None,
         cache_size: int = 256,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
         self.analyzer = analyzer or Analyzer()
         self.scorer: Scorer = scorer or Bm25Scorer()
         self.field_boosts = dict(field_boosts or {})
         self.index = InvertedIndex(self.analyzer)
+        self.options = options or ExecutionOptions()
         self.epoch = 0
         self._cache = LruCache("engine.cache", cache_size)
 
@@ -95,15 +771,23 @@ class SearchEngine:
         query: Union[str, Query],
         limit: Optional[int] = None,
         doc_filter: DocFilter = None,
+        options: Optional[ExecutionOptions] = None,
     ) -> List[SearchHit]:
         """Run ``query`` and return ranked hits.
 
         Args:
             query: Query string (parsed with the engine's grammar) or a
                 prebuilt AST.
-            limit: Maximum hits to return (None = all).
+            limit: Maximum hits to return (None = all).  The top-k
+                hits under a limit are guaranteed identical (documents,
+                scores, order) to the head of the unlimited ranking.
             doc_filter: Restrict the searchable set — either a set of
-                doc ids or a predicate over stored documents.
+                doc ids (pushed down into posting traversal) or a
+                predicate over stored documents (applied to matched
+                candidates only).
+            options: Per-call :class:`ExecutionOptions` override;
+                ``ExecutionOptions.exhaustive()`` forces the reference
+                interpreter.
 
         Returns:
             Hits sorted by descending score; ties broken by doc id for
@@ -117,21 +801,28 @@ class SearchEngine:
         get_injector().check("index")
         if isinstance(query, str):
             query = parse_query(query)
+        opts = options if options is not None else self.options
         metrics = get_registry()
         metrics.inc("engine.searches")
-        cache_key = self._cache_key(query, limit, doc_filter)
+        execution = _Execution(self, opts, doc_filter)
+        cache_key = self._cache_key(query, doc_filter, opts)
         if cache_key is not None:
             cached = self._cache.get(cache_key)
-            if cached is not None:
-                return list(cached)
-        scores = self._match(query)
-        metrics.observe("engine.candidates", len(scores))
-        scores = self._apply_doc_filter(scores, doc_filter)
-        metrics.observe("engine.candidates_after_filter", len(scores))
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        if limit is not None:
-            ranked = ranked[:limit]
+            if cached is not None and cached.covers(limit):
+                if cached.limit is None or limit != cached.limit:
+                    metrics.inc("engine.cache.sliced")
+                return cached.slice(limit)
+        ranked = execution.ranked(query, limit)
+        metrics.observe("engine.candidates", execution.n_candidates)
+        metrics.observe(
+            "engine.candidates_after_filter", execution.n_after_filter
+        )
         surfaces = _query_surfaces(query)
+        highlight_terms: Set[str] = set()
+        for surface in surfaces:
+            highlight_terms.update(
+                self.analyzer.analyze_query_terms(surface)
+            )
         hits = []
         for doc_id, score in ranked:
             document = self.index.document(doc_id)
@@ -140,184 +831,67 @@ class SearchEngine:
                     doc_id=doc_id,
                     score=score,
                     document=document,
-                    snippet=_make_snippet(document.text, surfaces),
+                    snippet=_make_snippet(
+                        document.text,
+                        surfaces,
+                        highlight_terms,
+                        self.analyzer,
+                    ),
                 )
             )
         if cache_key is not None:
-            self._cache.put(cache_key, hits)
+            self._cache.put(cache_key, _CachedRanking(tuple(hits), limit))
         return list(hits)
 
     def _cache_key(
         self,
         query: Query,
-        limit: Optional[int],
         doc_filter: DocFilter,
+        options: ExecutionOptions,
     ):
         """Hashable cache key, or None when the search is uncacheable.
 
         Predicate filters are opaque (no stable identity), so those
         searches always recompute; id-set filters are folded into the
         key as frozensets.  The index epoch is part of every key, which
-        is how ``add``/``remove`` invalidate without touching the cache.
+        is how ``add``/``remove`` invalidate without touching the
+        cache.  ``limit`` is deliberately absent: the cached value
+        records its own coverage and serves any covered limit by
+        slicing (see :class:`_CachedRanking`).
         """
         if doc_filter is None:
             filter_key = None
         elif isinstance(doc_filter, AbstractSet):
             filter_key = frozenset(doc_filter)
         else:
-            # Predicates have no stable identity; invalid filters must
-            # still reach _apply_doc_filter to raise SearchError.
+            # Predicates have no stable identity.
             return None
         try:
             hash(query)
         except TypeError:  # pragma: no cover - unhashable custom node
             return None
-        return (self.epoch, query, limit, filter_key)
+        return (self.epoch, query, filter_key, options)
 
     def count(self, query: Union[str, Query], doc_filter: DocFilter = None) -> int:
-        """Number of documents matching ``query`` (no ranking work)."""
+        """Number of documents matching ``query`` (no ranking work).
+
+        Answered from a cached *complete* search ranking when one
+        exists; otherwise evaluated membership-only (no scores are ever
+        computed for a count).
+        """
         get_injector().check("index")
         if isinstance(query, str):
             query = parse_query(query)
-        get_registry().inc("engine.counts")
-        return len(self._apply_doc_filter(self._match(query), doc_filter))
-
-    def _apply_doc_filter(
-        self, scores: Dict[str, float], doc_filter: DocFilter
-    ) -> Dict[str, float]:
-        """Restrict matches to the filter's documents.
-
-        Any :class:`collections.abc.Set` (``set``, ``frozenset``, dict
-        key views, ...) is treated as an id set; otherwise the filter
-        is a predicate over stored documents, applied only to the
-        already-matched candidates — never materialized over the whole
-        corpus.
-        """
-        if doc_filter is None:
-            return scores
-        if isinstance(doc_filter, AbstractSet):
-            return {
-                doc_id: score
-                for doc_id, score in scores.items()
-                if doc_id in doc_filter
-            }
-        if callable(doc_filter):
-            return {
-                doc_id: score
-                for doc_id, score in scores.items()
-                if doc_filter(self.index.document(doc_id))
-            }
-        raise SearchError(
-            f"doc_filter must be a set of ids or a predicate, "
-            f"got {type(doc_filter).__name__}"
-        )
-
-    # -- query interpretation ----------------------------------------------
-
-    def _match(self, query: Query) -> Dict[str, float]:
-        """Evaluate a query node to doc_id -> score."""
-        if isinstance(query, TermQuery):
-            return self._match_term(query)
-        if isinstance(query, PhraseQuery):
-            return self._match_phrase(query)
-        if isinstance(query, AndQuery):
-            return self._match_and(query.clauses)
-        if isinstance(query, OrQuery):
-            return self._match_or(query.clauses)
-        if isinstance(query, NotQuery):
-            # A bare negation matches everything except the clause; at
-            # top level that is "all documents minus matches" with a
-            # flat score, mirroring common engine behaviour.
-            excluded = set(self._match(query.clause))
-            return {
-                doc_id: 0.0
-                for doc_id in self.index.doc_ids - excluded
-            }
-        raise SearchError(f"unknown query node {query!r}")
-
-    def _match_term(self, query: TermQuery) -> Dict[str, float]:
-        terms = self.analyzer.analyze_query_terms(query.text)
-        if not terms:
-            return {}
-        if len(terms) > 1:
-            # A "term" that analyzes into several tokens (hyphens etc.)
-            # behaves as an implicit AND of its parts.
-            return self._match_and(
-                tuple(TermQuery(t, query.field) for t in terms)
-            )
-        return self._score_term(terms[0], query.field)
-
-    def _score_term(self, term: str, field: Optional[str]) -> Dict[str, float]:
-        scores: Dict[str, float] = {}
-        fields = [field] if field is not None else self.index.fields
         metrics = get_registry()
-        metrics.inc("engine.terms_scored")
-        for field_name in fields:
-            boost = self.field_boosts.get(field_name, 1.0)
-            matching = self.index.matching_docs(term, field_name)
-            df = len(matching)  # computed once per (term, field)
-            metrics.inc("engine.postings_touched", df)
-            for doc_id in matching:
-                contribution = self.scorer.score(
-                    self.index, term, doc_id, field_name, df=df
-                )
-                scores[doc_id] = scores.get(doc_id, 0.0) + boost * contribution
-        return scores
-
-    def _match_phrase(self, query: PhraseQuery) -> Dict[str, float]:
-        terms = self.analyzer.analyze_query_terms(query.text)
-        if not terms:
-            return {}
-        if len(terms) == 1:
-            return self._score_term(terms[0], query.field)
-        docs = self.index.phrase_docs(terms, query.field)
-        # Score each member term once over its full matching set, then
-        # sum per phrase document (per-document rescoring is quadratic).
-        contributions = [
-            self._score_term(term, query.field) for term in terms
-        ]
-        scores: Dict[str, float] = {}
-        for doc_id in docs:
-            total = sum(c.get(doc_id, 0.0) for c in contributions)
-            # Phrase matches are stronger evidence than the bag of words.
-            scores[doc_id] = total * 1.25
-        return scores
-
-    def _match_and(self, clauses) -> Dict[str, float]:
-        positive: Optional[Dict[str, float]] = None
-        negative: Set[str] = set()
-        for clause in clauses:
-            if isinstance(clause, NotQuery):
-                negative.update(self._match(clause.clause))
-                continue
-            matched = self._match(clause)
-            if positive is None:
-                positive = dict(matched)
-            else:
-                positive = {
-                    doc_id: score + matched[doc_id]
-                    for doc_id, score in positive.items()
-                    if doc_id in matched
-                }
-            if not positive:
-                return {}
-        if positive is None:
-            # All clauses negative: everything except the exclusions.
-            return {
-                doc_id: 0.0 for doc_id in self.index.doc_ids - negative
-            }
-        return {
-            doc_id: score
-            for doc_id, score in positive.items()
-            if doc_id not in negative
-        }
-
-    def _match_or(self, clauses) -> Dict[str, float]:
-        scores: Dict[str, float] = {}
-        for clause in clauses:
-            for doc_id, score in self._match(clause).items():
-                scores[doc_id] = max(scores.get(doc_id, 0.0), score)
-        return scores
+        metrics.inc("engine.counts")
+        cache_key = self._cache_key(query, doc_filter, self.options)
+        if cache_key is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None and cached.limit is None:
+                metrics.inc("engine.counts_from_cache")
+                return len(cached.hits)
+        execution = _Execution(self, self.options, doc_filter)
+        return execution.count_docs(query)
 
 
 def _query_surfaces(query: Query) -> List[str]:
@@ -334,14 +908,33 @@ def _query_surfaces(query: Query) -> List[str]:
     return []  # NotQuery: nothing to highlight
 
 
-def _make_snippet(text: str, surfaces: List[str], width: int = 80) -> str:
-    """A short window of text around the first query-term occurrence."""
+def _make_snippet(
+    text: str,
+    surfaces: List[str],
+    highlight_terms: Set[str],
+    analyzer: Analyzer,
+    width: int = 80,
+) -> str:
+    """A short window of text around the first query-term occurrence.
+
+    Exact surface substrings win (cheapest, and what users expect to
+    see highlighted); when no surface occurs verbatim, the document is
+    run through the analyzer and the window anchors on the first token
+    whose *analyzed* form matches a query term — a query for
+    "financing" lands on a document's "financed" instead of falling
+    back to the document head.
+    """
     lowered = text.lower()
     best = None
     for surface in surfaces:
         position = lowered.find(surface.lower())
         if position != -1 and (best is None or position < best):
             best = position
+    if best is None and highlight_terms:
+        for analyzed in analyzer.analyze(text):
+            if analyzed.term in highlight_terms:
+                best = analyzed.start
+                break
     if best is None:
         snippet = text[:width]
     else:

@@ -4,18 +4,67 @@ Postings record term positions within each field so phrase queries can
 verify adjacency.  The index also maintains the per-field statistics the
 BM25 scorer needs: document frequency per term, field length per
 document, and average field length.
+
+Two compiled structures sit beside the positional postings so the hot
+query path never walks dict-of-dict chains per (term, document):
+
+* :class:`TermPostings` — a flat posting array per (field, term)
+  carrying parallel ``doc_ids`` / ``tfs`` / ``lengths`` lists plus the
+  running ``max_tf`` (the MaxScore upper-bound ingredient).  Arrays are
+  compiled lazily on first access and then maintained *incrementally*:
+  ``add`` appends the new document's entry in place, ``remove`` drops
+  only the removed document's own (field, term) arrays, so the compile
+  cost is never paid again for untouched terms.  Consistency is
+  epoch-exact — every mutation that could change an array either
+  updates it or invalidates it.
+* a metadata value index (``docs_with_metadata``) mapping each hashable
+  ``(key, value)`` metadata pair to its document-id set, which lets the
+  SIAPI facade turn an activity scope into an id-set ``doc_filter`` the
+  engine can push down into posting traversal.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SearchError
 from repro.obs import get_registry
 from repro.search.analyzer import Analyzer
 from repro.search.document import IndexableDocument
 
-__all__ = ["InvertedIndex"]
+__all__ = ["InvertedIndex", "TermPostings"]
+
+
+class TermPostings:
+    """Flat, score-ready posting array for one (field, term).
+
+    Attributes:
+        doc_ids: Document ids in insertion order.
+        tfs: Term frequency per document (parallel to ``doc_ids``).
+        lengths: Field token count per document (parallel).
+        max_tf: Largest term frequency seen — an upper-bound ingredient
+            for MaxScore pruning (monotone under appends; removals drop
+            the whole array, so it is never stale).
+    """
+
+    __slots__ = ("doc_ids", "tfs", "lengths", "max_tf")
+
+    def __init__(self) -> None:
+        self.doc_ids: List[str] = []
+        self.tfs: List[int] = []
+        self.lengths: List[int] = []
+        self.max_tf = 0
+
+    def append(self, doc_id: str, tf: int, length: int) -> None:
+        """Add one document's entry (index ``add`` / lazy compile)."""
+        self.doc_ids.append(doc_id)
+        self.tfs.append(tf)
+        self.lengths.append(length)
+        if tf > self.max_tf:
+            self.max_tf = tf
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
 
 
 class InvertedIndex:
@@ -36,6 +85,14 @@ class InvertedIndex:
         # doc_id -> field -> distinct terms, so removal only touches the
         # document's own postings instead of the whole field vocabulary.
         self._doc_terms: Dict[str, Dict[str, Set[str]]] = {}
+        # (field, term) -> compiled flat postings; lazily built, then
+        # incrementally maintained (see module docstring).
+        self._compiled: Dict[Tuple[str, str], TermPostings] = {}
+        # metadata key -> value -> doc ids (hashable values only).
+        self._meta_index: Dict[str, Dict[Any, Set[str]]] = {}
+        #: Mutation counter; every ``add``/``remove`` bumps it.  Scorers
+        #: key their per-(term, field) idf caches on it.
+        self.epoch = 0
 
     # -- mutation -----------------------------------------------------------
 
@@ -49,25 +106,45 @@ class InvertedIndex:
             terms = self.analyzer.analyze(text)
             field_postings = self._postings.setdefault(field_name, {})
             field_terms = doc_terms.setdefault(field_name, set())
+            grouped: Dict[str, List[int]] = {}
             for analyzed in terms:
-                field_postings.setdefault(analyzed.term, {}).setdefault(
-                    document.doc_id, []
-                ).append(analyzed.position)
-                field_terms.add(analyzed.term)
+                grouped.setdefault(analyzed.term, []).append(
+                    analyzed.position
+                )
+            length = len(terms)
+            for term, positions in grouped.items():
+                field_postings.setdefault(term, {})[
+                    document.doc_id
+                ] = positions
+                field_terms.add(term)
+                compiled = self._compiled.get((field_name, term))
+                if compiled is not None:
+                    compiled.append(
+                        document.doc_id, len(positions), length
+                    )
             self._field_lengths.setdefault(field_name, {})[
                 document.doc_id
-            ] = len(terms)
+            ] = length
             self._field_token_totals[field_name] = (
-                self._field_token_totals.get(field_name, 0) + len(terms)
+                self._field_token_totals.get(field_name, 0) + length
             )
-            self._token_total += len(terms)
+            self._token_total += length
+        for key, value in document.metadata.items():
+            try:
+                by_value = self._meta_index.setdefault(key, {})
+                by_value.setdefault(value, set()).add(document.doc_id)
+            except TypeError:
+                continue  # unhashable value; never scope-filterable
+        self.epoch += 1
 
     def remove(self, doc_id: str) -> IndexableDocument:
         """Remove a document from the index and return it.
 
         O(document's own terms) via the reverse map, not O(field
         vocabulary): continuous offboarding (``EILSystem.remove_deal``)
-        must not rescan every posting list per document.
+        must not rescan every posting list per document.  Compiled
+        posting arrays are invalidated per touched (field, term) only —
+        untouched terms keep their arrays.
         """
         document = self._documents.pop(doc_id, None)
         if document is None:
@@ -82,6 +159,7 @@ class InvertedIndex:
                     continue
                 terms_touched += 1
                 docs.pop(doc_id, None)
+                self._compiled.pop((field_name, term), None)
                 if not docs:
                     del field_postings[term]
             if not field_postings and field_name in self._postings:
@@ -97,6 +175,19 @@ class InvertedIndex:
                         self._field_token_totals.get(field_name, 0) - length
                     )
                 self._token_total -= length
+        for key, value in document.metadata.items():
+            by_value = self._meta_index.get(key)
+            if by_value is None:
+                continue
+            try:
+                members = by_value.get(value)
+            except TypeError:
+                continue
+            if members is not None:
+                members.discard(doc_id)
+                if not members:
+                    del by_value[value]
+        self.epoch += 1
         metrics = get_registry()
         metrics.inc("index.removals")
         metrics.observe("index.remove_terms_touched", terms_touched)
@@ -146,6 +237,43 @@ class InvertedIndex:
                 merged.setdefault(doc_id, []).extend(positions)
         return merged
 
+    def term_postings(
+        self, term: str, field: str
+    ) -> Optional[TermPostings]:
+        """Compiled flat postings for ``(field, term)``, or ``None``.
+
+        First access compiles the array from the positional postings
+        (O(df)); afterwards ``add`` appends and ``remove`` invalidates,
+        so steady-state queries read a ready-made score-at-match-time
+        array.  ``len()`` of the result is the term's in-field document
+        frequency.
+        """
+        key = (field, term)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            docs = self._postings.get(field, {}).get(term)
+            if not docs:
+                return None
+            lengths = self._field_lengths.get(field, {})
+            compiled = TermPostings()
+            for doc_id, positions in docs.items():
+                compiled.append(
+                    doc_id, len(positions), lengths.get(doc_id, 0)
+                )
+            self._compiled[key] = compiled
+            get_registry().inc("index.postings_compiled")
+        return compiled
+
+    def max_tf(self, term: str, field: str) -> Optional[int]:
+        """``max_tf`` of an already-compiled posting array, else None.
+
+        Deliberately does *not* compile: MaxScore bound estimation must
+        stay O(1) even for clauses that end up pruned without ever
+        touching their postings.
+        """
+        compiled = self._compiled.get((field, term))
+        return compiled.max_tf if compiled is not None else None
+
     def matching_docs(self, term: str, field: Optional[str] = None) -> Set[str]:
         """Ids of documents containing ``term`` (optionally in ``field``)."""
         if field is not None:
@@ -153,6 +281,29 @@ class InvertedIndex:
         matches: Set[str] = set()
         for field_postings in self._postings.values():
             matches.update(field_postings.get(term, {}))
+        return matches
+
+    def docs_with_metadata(
+        self, key: str, values: Iterable[Any]
+    ) -> Set[str]:
+        """Ids of documents whose metadata ``key`` is one of ``values``.
+
+        Backed by an incrementally-maintained (key, value) -> id-set
+        map, so an activity scope of *k* values resolves in O(k) plus
+        the result size — never a corpus scan.  Unhashable values are
+        skipped (they can never have been indexed either).
+        """
+        by_value = self._meta_index.get(key)
+        if not by_value:
+            return set()
+        matches: Set[str] = set()
+        for value in values:
+            try:
+                members = by_value.get(value)
+            except TypeError:
+                continue
+            if members:
+                matches.update(members)
         return matches
 
     def phrase_docs(
@@ -191,6 +342,22 @@ class InvertedIndex:
     def document_frequency(self, term: str, field: Optional[str] = None) -> int:
         """Number of documents containing ``term``."""
         return len(self.matching_docs(term, field))
+
+    def df(self, term: str, field: Optional[str] = None) -> int:
+        """O(1) document-frequency estimate for query planning.
+
+        Per field this is exact.  With ``field=None`` it sums the
+        per-field frequencies, which double-counts documents carrying
+        the term in several fields — an upper bound, which is all the
+        ascending-df AND ordering needs (use
+        :meth:`document_frequency` for the exact merged count).
+        """
+        if field is not None:
+            return len(self._postings.get(field, {}).get(term, ()))
+        return sum(
+            len(field_postings.get(term, ()))
+            for field_postings in self._postings.values()
+        )
 
     def term_frequency(
         self, term: str, doc_id: str, field: Optional[str] = None

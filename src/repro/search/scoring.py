@@ -4,20 +4,53 @@ Scores are computed per query term per document over the whole document
 (all fields merged), which matches how the paper's keyword baseline
 treats a workbook document as "a blob of text".  Field weighting is the
 engine's concern (it scores fields separately and sums with boosts).
+
+Both scorers expose three entry points:
+
+* :meth:`score` — one (term, document) contribution, the historic API;
+* :meth:`score_postings` — the bulk API over a compiled posting array
+  (parallel ``tfs`` / ``lengths`` lists from
+  :class:`~repro.search.inverted_index.TermPostings`): idf and the
+  length-normalization constants are computed **once per (term,
+  field)**, so each hit costs one multiply-add instead of four index
+  lookups;
+* :meth:`upper_bound` — the largest score any document could attain
+  for the term, which MaxScore pruning compares against the running
+  top-k threshold.
+
+``score`` and ``score_postings`` share the exact same arithmetic
+(``mult * tf / (tf + base + scale * length)``), so bulk and per-document
+evaluation produce bit-identical floats — the engine's
+pruned-vs-exhaustive ranking-equivalence guarantee depends on it.
+
+idf depends only on (corpus size, document frequency); both scorers
+memoize it per (field, term) validated against those two numbers, so
+repeated queries skip the ``math.log`` without any explicit
+invalidation hook.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.search.inverted_index import InvertedIndex
 
 __all__ = ["Scorer", "Bm25Scorer", "TfidfScorer"]
 
+# Idf caches are per-scorer-instance and keyed by (field, term); entries
+# self-validate against (N, df).  The cap only guards pathological
+# vocabularies — normal query mixes stay far below it.
+_IDF_CACHE_MAX = 65536
+
 
 class Scorer(Protocol):
-    """Scoring interface: one (term, document) contribution at a time."""
+    """Scoring interface: per-hit, bulk, and upper-bound entry points.
+
+    Third-party scorers may implement only :meth:`score`; the engine
+    falls back to per-document evaluation when ``score_postings`` is
+    missing and disables MaxScore pruning when ``upper_bound`` is.
+    """
 
     def score(
         self,
@@ -35,6 +68,77 @@ class Scorer(Protocol):
         """
         ...
 
+    def score_postings(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        tfs: Sequence[int],
+        lengths: Sequence[int],
+        df: int,
+    ) -> List[float]:
+        """Bulk contributions for one term's posting array.
+
+        ``tfs`` and ``lengths`` are parallel; ``df`` is the term's full
+        in-field document frequency (callers may pass a *filtered*
+        slice of the postings, so df cannot be inferred from
+        ``len(tfs)``).
+        """
+        ...
+
+    def upper_bound(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        df: int,
+        max_tf: Optional[int] = None,
+    ) -> float:
+        """Largest score any document could attain for ``term``.
+
+        Must be a true upper bound (over-estimates cost pruning
+        opportunity, under-estimates would corrupt rankings).
+        ``max_tf`` tightens the bound when known.
+        """
+        ...
+
+
+class _IdfCache:
+    """(field, term) -> idf, self-validated against (N, df).
+
+    idf is fully determined by the corpus size and the document
+    frequency, so a cached value is reused exactly when both match —
+    no epoch plumbing, and a scorer instance shared across indexes can
+    never serve a wrong value.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[
+            Tuple[Optional[str], str], Tuple[int, int, float]
+        ] = {}
+
+    def get(
+        self, field: Optional[str], term: str, total: int, df: int
+    ) -> Optional[float]:
+        entry = self._entries.get((field, term))
+        if entry is not None and entry[0] == total and entry[1] == df:
+            return entry[2]
+        return None
+
+    def put(
+        self,
+        field: Optional[str],
+        term: str,
+        total: int,
+        df: int,
+        idf: float,
+    ) -> None:
+        if len(self._entries) >= _IDF_CACHE_MAX:
+            self._entries.clear()
+        self._entries[(field, term)] = (total, df, idf)
+
 
 class Bm25Scorer:
     """Okapi BM25 with the conventional defaults k1=1.2, b=0.75.
@@ -48,6 +152,18 @@ class Bm25Scorer:
             raise ValueError("require k1 >= 0 and 0 <= b <= 1")
         self.k1 = k1
         self.b = b
+        self._idf_cache = _IdfCache()
+
+    def _idf(
+        self, index: InvertedIndex, term: str, field: Optional[str], df: int
+    ) -> float:
+        total = len(index)
+        cached = self._idf_cache.get(field, term, total, df)
+        if cached is not None:
+            return cached
+        idf = math.log(1.0 + (total - df + 0.5) / (df + 0.5))
+        self._idf_cache.put(field, term, total, df, idf)
+        return idf
 
     def score(
         self,
@@ -62,8 +178,6 @@ class Bm25Scorer:
             return 0.0
         if df is None:
             df = index.document_frequency(term, field)
-        total = len(index)
-        idf = math.log(1.0 + (total - df + 0.5) / (df + 0.5))
         if field is not None:
             length = index.field_length(field, doc_id)
             average = index.average_length(field)
@@ -72,12 +186,78 @@ class Bm25Scorer:
             average = index.average_length()
         if average == 0:
             return 0.0
-        norm = self.k1 * (1 - self.b + self.b * length / average)
-        return idf * tf * (self.k1 + 1) / (tf + norm)
+        idf = self._idf(index, term, field, df)
+        mult = idf * (self.k1 + 1.0)
+        base = self.k1 * (1.0 - self.b)
+        scale = self.k1 * self.b / average
+        return mult * tf / (tf + base + scale * length)
+
+    def score_postings(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        tfs: Sequence[int],
+        lengths: Sequence[int],
+        df: int,
+    ) -> List[float]:
+        if df <= 0 or not tfs:
+            return []
+        if field is not None:
+            average = index.average_length(field)
+        else:
+            average = index.average_length()
+        if average == 0:
+            return [0.0] * len(tfs)
+        idf = self._idf(index, term, field, df)
+        mult = idf * (self.k1 + 1.0)
+        base = self.k1 * (1.0 - self.b)
+        scale = self.k1 * self.b / average
+        return [
+            mult * tf / (tf + base + scale * length)
+            for tf, length in zip(tfs, lengths)
+        ]
+
+    def upper_bound(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        df: int,
+        max_tf: Optional[int] = None,
+    ) -> float:
+        if df <= 0:
+            return 0.0
+        idf = self._idf(index, term, field, df)
+        mult = idf * (self.k1 + 1.0)
+        if max_tf:
+            base = self.k1 * (1.0 - self.b)
+            if base > 0:
+                # score <= mult*tf/(tf+base) which increases in tf.
+                return mult * max_tf / (max_tf + base)
+        return mult
+
+    def clear_caches(self) -> None:
+        """Drop the idf cache (tests and long-lived multi-index use)."""
+        self._idf_cache = _IdfCache()
 
 
 class TfidfScorer:
     """log-scaled TF x smoothed IDF, the classic vector-space weight."""
+
+    def __init__(self) -> None:
+        self._idf_cache = _IdfCache()
+
+    def _idf(
+        self, index: InvertedIndex, term: str, field: Optional[str], df: int
+    ) -> float:
+        total = len(index)
+        cached = self._idf_cache.get(field, term, total, df)
+        if cached is not None:
+            return cached
+        idf = math.log((1 + total) / (1 + df)) + 1.0
+        self._idf_cache.put(field, term, total, df, idf)
+        return idf
 
     def score(
         self,
@@ -92,6 +272,39 @@ class TfidfScorer:
             return 0.0
         if df is None:
             df = index.document_frequency(term, field)
-        total = len(index)
-        idf = math.log((1 + total) / (1 + df)) + 1.0
+        idf = self._idf(index, term, field, df)
         return (1.0 + math.log(tf)) * idf
+
+    def score_postings(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        tfs: Sequence[int],
+        lengths: Sequence[int],
+        df: int,
+    ) -> List[float]:
+        if df <= 0 or not tfs:
+            return []
+        idf = self._idf(index, term, field, df)
+        return [(1.0 + math.log(tf)) * idf for tf in tfs]
+
+    def upper_bound(
+        self,
+        index: InvertedIndex,
+        term: str,
+        field: Optional[str],
+        df: int,
+        max_tf: Optional[int] = None,
+    ) -> float:
+        if df <= 0:
+            return 0.0
+        idf = self._idf(index, term, field, df)
+        if max_tf is None:
+            # tf is unbounded a priori; never prune on this clause.
+            return math.inf
+        return (1.0 + math.log(max_tf)) * idf
+
+    def clear_caches(self) -> None:
+        """Drop the idf cache (tests and long-lived multi-index use)."""
+        self._idf_cache = _IdfCache()

@@ -22,6 +22,7 @@ breaker (see :mod:`repro.core.search` and docs/OPERATIONS.md).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -128,6 +129,22 @@ class SiapiService:
         self.engine = engine
         self.activity_key = activity_key
 
+    def _scope_filter(
+        self, scope: Optional[Set[str]]
+    ) -> Optional[frozenset]:
+        """Resolve an activity scope to a document-id set.
+
+        The index maintains a metadata value index, so the scope
+        becomes a concrete id set the engine can push down into posting
+        traversal *and* fold into its result-cache key — predicate
+        filters could do neither (they are opaque and uncacheable).
+        """
+        if scope is None:
+            return None
+        return frozenset(
+            self.engine.index.docs_with_metadata(self.activity_key, scope)
+        )
+
     def search(
         self,
         query: SiapiQuery,
@@ -135,37 +152,28 @@ class SiapiService:
         limit: Optional[int] = None,
     ) -> List[SearchHit]:
         """Ranked document hits; ``scope`` restricts to those activities."""
-        doc_filter = None
-        if scope is not None:
-            scoped = set(scope)
-            doc_filter = (
-                lambda document: document.metadata.get(self.activity_key)
-                in scoped
-            )
-        return self.engine.search(query.to_query(), limit, doc_filter)
+        return self.engine.search(
+            query.to_query(), limit, self._scope_filter(scope)
+        )
 
     def count(self, query: SiapiQuery, scope: Optional[Set[str]] = None) -> int:
         """Number of matching documents (the paper's "N documents")."""
-        doc_filter = None
-        if scope is not None:
-            scoped = set(scope)
-            doc_filter = (
-                lambda document: document.metadata.get(self.activity_key)
-                in scoped
-            )
-        return self.engine.count(query.to_query(), doc_filter)
+        return self.engine.count(query.to_query(), self._scope_filter(scope))
 
     def search_grouped(
         self,
         query: SiapiQuery,
         scope: Optional[Set[str]] = None,
         per_activity_limit: Optional[int] = None,
+        activity_limit: Optional[int] = None,
     ) -> List[ActivityHits]:
         """Hits grouped by business activity with normalized scores.
 
         Per Section 3 of the paper: document scores are normalized by
         the maximum in the result set, then averaged within each
-        activity; activities sort by that average.
+        activity; activities sort by that average.  ``activity_limit``
+        keeps only the best activities (score normalization still sees
+        every hit, so kept activities score identically either way).
         """
         hits = self.search(query, scope)
         metrics = get_registry()
@@ -190,6 +198,12 @@ class SiapiService:
                     hits=[hit for _, hit in trimmed],
                 )
             )
-        results.sort(key=lambda a: (-a.score, a.activity_id))
         metrics.observe("siapi.activities_matched", len(results))
+        if activity_limit is not None and activity_limit < len(results):
+            return heapq.nsmallest(
+                activity_limit,
+                results,
+                key=lambda a: (-a.score, a.activity_id),
+            )
+        results.sort(key=lambda a: (-a.score, a.activity_id))
         return results

@@ -1,0 +1,256 @@
+"""Ranking-equivalence suite: planned/pruned execution vs the reference.
+
+The execution engine promises that every optimization —
+bulk scoring, df-ordered AND, filter pushdown, heap top-k, MaxScore
+pruning — is invisible in the results: same documents, bit-identical
+scores, same tie-breaks as ``ExecutionOptions.exhaustive()``.  This
+suite drives both modes over seeded random corpora and a query zoo
+covering term/phrase/AND/OR/NOT, field restrictions, field boosts,
+id-set and predicate doc filters, and post-``remove`` epochs, and
+asserts exact equality.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import use_registry
+from repro.search import (
+    Bm25Scorer,
+    ExecutionOptions,
+    IndexableDocument,
+    SearchEngine,
+    TfidfScorer,
+    parse_query,
+)
+
+# Realistic-ish vocabulary with skewed frequencies so MaxScore has
+# common terms to prune and rare terms to keep: the first words appear
+# in most documents, the last in only a few.
+COMMON = ["services", "deal", "client", "team", "review"]
+MID = ["network", "storage", "finance", "migration", "pricing",
+       "contract", "server", "delivery"]
+RARE = ["audit", "escrow", "latency", "turbine", "quarantine",
+        "helpdesk", "mainframe", "benchmark"]
+VOCAB = COMMON * 8 + MID * 3 + RARE
+
+QUERIES = [
+    "finance",
+    "financing",                       # stems to the same as "finance"
+    "network services",                # implicit AND
+    "network OR storage OR audit",
+    "services OR deal OR client OR review OR escrow OR audit",
+    '"storage management"',
+    '"network migration" OR finance',
+    "finance -audit",
+    "-services",                       # pure negation
+    "title:network OR body:finance",
+    "(finance OR pricing) (network OR storage) -turbine",
+    "deal AND NOT escrow OR audit".replace(" AND NOT ", " -"),
+]
+
+LIMITS = [None, 1, 3, 10]
+
+VARIANTS = [
+    ExecutionOptions(),  # everything on
+    ExecutionOptions(bulk_scoring=False),
+    ExecutionOptions(df_ordering=False),
+    ExecutionOptions(filter_pushdown=False),
+    ExecutionOptions(maxscore=False),
+    ExecutionOptions(top_k_heap=False),
+    ExecutionOptions(bulk_scoring=True, df_ordering=False,
+                     filter_pushdown=False, maxscore=False,
+                     top_k_heap=False),
+    ExecutionOptions(bulk_scoring=False, df_ordering=False,
+                     filter_pushdown=False, maxscore=True,
+                     top_k_heap=True),
+]
+
+
+def make_corpus(seed, docs=80, deals=8):
+    rng = random.Random(seed)
+    corpus = []
+    for i in range(docs):
+        title = " ".join(rng.choices(VOCAB, k=rng.randint(2, 5)))
+        body_words = rng.choices(VOCAB, k=rng.randint(10, 40))
+        if rng.random() < 0.3:
+            body_words[rng.randrange(len(body_words) - 1):][:2] = [
+                "storage", "management"
+            ]
+        if rng.random() < 0.2:
+            body_words.extend(["network", "migration"])
+        corpus.append(
+            IndexableDocument(
+                f"doc{i:03d}",
+                {"title": title, "body": " ".join(body_words)},
+                {"deal_id": f"deal{i % deals}"},
+            )
+        )
+    return corpus
+
+
+def make_engine(corpus, **kwargs):
+    kwargs.setdefault("cache_size", 0)
+    engine = SearchEngine(**kwargs)
+    engine.add_all(corpus)
+    return engine
+
+
+def ranking(engine, query, limit, doc_filter, options):
+    hits = engine.search(
+        query, limit=limit, doc_filter=doc_filter, options=options
+    )
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+def assert_equivalent(engine, query, limit=None, doc_filter=None,
+                      variants=VARIANTS):
+    parsed = parse_query(query) if isinstance(query, str) else query
+    reference = ranking(
+        engine, parsed, limit, doc_filter, ExecutionOptions.exhaustive()
+    )
+    for options in variants:
+        planned = ranking(engine, parsed, limit, doc_filter, options)
+        assert planned == reference, (
+            f"ranking diverged for query={query!r} limit={limit} "
+            f"options={options}"
+        )
+    if limit is not None:
+        unlimited = ranking(
+            engine, parsed, None, doc_filter, ExecutionOptions()
+        )
+        assert reference == unlimited[:limit], (
+            f"top-{limit} is not the head of the full ranking "
+            f"for query={query!r}"
+        )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(seed=2008)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    return make_engine(corpus)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("limit", LIMITS)
+def test_query_zoo_equivalence(engine, query, limit):
+    assert_equivalent(engine, query, limit)
+
+
+@pytest.mark.parametrize("limit", [None, 5])
+def test_equivalence_with_field_boosts(corpus, limit):
+    engine = make_engine(corpus, field_boosts={"title": 2.5, "body": 0.5})
+    for query in QUERIES:
+        assert_equivalent(engine, query, limit)
+
+
+@pytest.mark.parametrize("limit", [None, 5])
+def test_equivalence_with_tfidf_scorer(corpus, limit):
+    engine = make_engine(corpus, scorer=TfidfScorer())
+    for query in QUERIES:
+        assert_equivalent(engine, query, limit)
+
+
+@pytest.mark.parametrize("limit", [None, 4])
+def test_equivalence_with_id_set_filter(engine, corpus, limit):
+    rng = random.Random(99)
+    scope = frozenset(
+        doc.doc_id for doc in corpus if rng.random() < 0.4
+    )
+    for query in QUERIES:
+        assert_equivalent(engine, query, limit, doc_filter=scope)
+    assert_equivalent(engine, "finance OR audit", limit,
+                      doc_filter=frozenset())
+
+
+@pytest.mark.parametrize("limit", [None, 4])
+def test_equivalence_with_predicate_filter(engine, limit):
+    def predicate(document):
+        return document.metadata.get("deal_id") in {"deal1", "deal3"}
+
+    for query in QUERIES:
+        assert_equivalent(engine, query, limit, doc_filter=predicate)
+
+
+def test_equivalence_after_removals(corpus):
+    engine = make_engine(corpus)
+    rng = random.Random(7)
+    removed = [d.doc_id for d in corpus if rng.random() < 0.3]
+    for doc_id in removed:
+        engine.remove(doc_id)
+    for query in QUERIES:
+        for limit in (None, 5):
+            assert_equivalent(engine, query, limit)
+    # Re-add a few with new text; compiled postings must follow.
+    engine.add(
+        IndexableDocument(
+            removed[0],
+            {"title": "audit escrow turbine",
+             "body": "finance network storage audit audit"},
+            {"deal_id": "deal0"},
+        )
+    )
+    for query in QUERIES:
+        assert_equivalent(engine, query, 5)
+
+
+def test_equivalence_property_random_corpora_and_queries():
+    """Property-style sweep: fresh corpus + random OR/AND queries."""
+    for seed in range(8):
+        rng = random.Random(1000 + seed)
+        engine = make_engine(make_corpus(seed=seed, docs=50))
+        for _ in range(6):
+            words = rng.sample(COMMON + MID + RARE, rng.randint(2, 6))
+            joiner = rng.choice([" OR ", " "])
+            query = joiner.join(words)
+            if rng.random() < 0.3:
+                query += f" -{rng.choice(MID)}"
+            assert_equivalent(
+                engine, query, limit=rng.choice([None, 1, 3, 7]),
+                variants=[ExecutionOptions()],
+            )
+
+
+def test_tie_breaks_by_doc_id_match_reference():
+    engine = SearchEngine(cache_size=0)
+    # Identical documents => identical scores => ties broken by doc id.
+    for doc_id in ["z9", "a1", "m5", "b2"]:
+        engine.add(
+            IndexableDocument(
+                doc_id, {"body": "finance network finance"}, {}
+            )
+        )
+    assert_equivalent(engine, "finance OR network", limit=2)
+    hits = engine.search("finance OR network", limit=2)
+    assert [h.doc_id for h in hits] == ["a1", "b2"]
+
+
+def test_maxscore_touches_strictly_fewer_postings(engine):
+    """Acceptance criterion: pruning does strictly less posting work."""
+    query = parse_query(
+        "escrow OR turbine OR services OR deal OR client OR review"
+    )
+
+    def touched(options):
+        with use_registry() as registry:
+            engine.search(query, limit=3, options=options)
+            return registry.counter("engine.postings_touched").value
+
+    exhaustive = touched(ExecutionOptions.exhaustive())
+    pruned = touched(ExecutionOptions())
+    assert pruned < exhaustive
+    with use_registry() as registry:
+        engine.search(query, limit=3)
+        assert registry.counter("engine.maxscore.clauses_pruned").value > 0
+
+
+def test_exhaustive_options_all_disabled():
+    options = ExecutionOptions.exhaustive()
+    assert not any(
+        (options.bulk_scoring, options.df_ordering,
+         options.filter_pushdown, options.maxscore, options.top_k_heap)
+    )
