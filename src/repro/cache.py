@@ -38,9 +38,12 @@ class LruCache:
 
     Args:
         name: Metrics prefix (``<name>.hits`` etc.).
-        max_entries: Capacity; ``0`` disables the cache entirely (every
-            ``get`` misses, ``put`` is a no-op) — the knob benchmarks
-            use to measure cold-path latency.
+        max_entries: Capacity; ``0`` disables storage entirely (every
+            ``get`` misses, ``put`` stores nothing) — the knob
+            benchmarks use to measure cold-path latency.  ``put`` still
+            classifies its value first, so ``None`` is rejected and
+            degraded/partial values count under ``<name>.bypassed`` at
+            every capacity.
 
     Cached values must not be ``None`` (``None`` signals a miss); they
     are returned by reference, so callers that hand out mutable results
@@ -88,11 +91,14 @@ class LruCache:
         """
         if value is None:
             raise ValueError(f"cache {self.name!r} cannot store None")
-        if self.max_entries == 0:
-            return
         metrics = get_registry()
+        # Classify before the disabled-cache short-circuit: a degraded
+        # value must count as bypassed (and None must raise) at every
+        # capacity, so metric semantics do not depend on sizing.
         if not self.storable(value):
             metrics.inc(f"{self.name}.bypassed")
+            return
+        if self.max_entries == 0:
             return
         evicted = 0
         with self._lock:

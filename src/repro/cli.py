@@ -69,10 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of deals to generate (default: 8)")
     parser.add_argument("--docs", type=int, default=30,
                         help="documents per deal (default: 30)")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker threads for the offline "
-                             "parse+annotate stage (default: 1, serial; "
-                             "any width yields identical results)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="workers for the offline parse+annotate "
+                             "stage (default: 1 or $REPRO_WORKERS; "
+                             "serial at 1; any width yields identical "
+                             "results)")
+    parser.add_argument("--executor", default=None,
+                        choices=["serial", "threads", "processes"],
+                        help="offline execution mode (default: threads "
+                             "or $REPRO_EXECUTOR); 'processes' shards "
+                             "the corpus by deal across worker "
+                             "processes for true multi-core builds — "
+                             "results are identical under every mode")
     parser.add_argument("--fault-profile", default="",
                         help="arm the fault injector, e.g. "
                              "'db:error=0.2;index:latency=0.05' "
@@ -134,7 +142,8 @@ def _make_system(args: argparse.Namespace) -> tuple:
             CorpusConfig(seed=args.seed, n_deals=args.deals,
                          docs_per_deal=args.docs)
         ).generate()
-    return corpus, EILSystem.build(corpus, workers=args.workers)
+    return corpus, EILSystem.build(corpus, workers=args.workers,
+                                   executor=args.executor)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

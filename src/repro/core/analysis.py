@@ -19,6 +19,7 @@ quarantine rather than aborting the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.annotators.base import register_eil_types
@@ -118,17 +119,25 @@ class InformationAnalysis:
         self.pipeline.initialize_types(self.type_system)
 
     def analyze(
-        self, collection: WorkbookCollection, workers: int = 1
+        self,
+        collection: WorkbookCollection,
+        workers: int = 1,
+        executor: Optional[str] = None,
     ) -> AnalysisResults:
         """Parse + annotate + aggregate one collection.
 
         Args:
             collection: The workbooks to analyze.
-            workers: Thread-pool width for the parse+annotate stage.
-                The default (1) runs strictly serially; any value
-                produces identical :class:`AnalysisResults` because the
-                CPE merges worker output in stable document order
-                before the collection-level consumers run.
+            workers: Worker count for the parse+annotate stage.  The
+                default (1) runs strictly serially; any value produces
+                identical :class:`AnalysisResults` because the CPE
+                merges worker output in stable document order before
+                the collection-level consumers run.
+            executor: Execution mode for the parse+annotate stage —
+                ``"serial"``, ``"threads"`` (the CPE default) or
+                ``"processes"`` (true multi-core: the corpus is sharded
+                by deal across worker processes).  Results are
+                identical under every mode.
         """
         contact_rollup = ContactRollup(self.directory)
         scope_aggregator = ScopeAggregator(self.scope_min_weight)
@@ -166,6 +175,11 @@ class InformationAnalysis:
                 items,
                 prepare=self._parse_one,
                 workers=workers,
+                executor=executor,
+                # Shard by deal: a deal's documents travel to one
+                # worker process together, mirroring the per-deal
+                # repository layout the paper crawls.
+                shard_key=attrgetter("deal_id"),
             )
         metrics = get_registry()
         metrics.inc("analysis.documents_processed",

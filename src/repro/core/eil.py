@@ -25,6 +25,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -49,6 +50,22 @@ from repro.security.access import AccessController, User
 __all__ = ["EILSystem", "BuildReport"]
 
 _DEFAULT_USER = User("analyst", frozenset({"sales"}))
+
+
+def _default_workers() -> int:
+    """Offline worker count when unspecified: ``REPRO_WORKERS`` or 1.
+
+    The environment override exists so an entire test or CI run can be
+    re-executed under a parallel build (the determinism invariant makes
+    that a pure execution-mode change) without touching every call
+    site.
+    """
+    return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def _default_executor() -> str:
+    """Offline executor when unspecified: ``REPRO_EXECUTOR`` or threads."""
+    return os.environ.get("REPRO_EXECUTOR", "threads")
 
 
 @dataclass
@@ -85,13 +102,15 @@ class EILSystem:
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
         field_boosts: Optional[Dict[str, float]] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
         query_cache_size: int = 128,
         engine_cache_size: int = 256,
         deadline_seconds: Optional[float] = None,
         max_failure_ratio: float = 1.0,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
+        workers = _default_workers() if workers is None else workers
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.taxonomy = taxonomy
@@ -99,6 +118,7 @@ class EILSystem:
         self.directory = directory
         self.access = access or AccessController()
         self.workers = workers
+        self.executor = executor or _default_executor()
         self._query_cache_size = query_cache_size
         self.engine = SearchEngine(
             field_boosts=field_boosts or {"title": 2.0},
@@ -133,7 +153,8 @@ class EILSystem:
         access: Optional[AccessController] = None,
         scope_min_weight: float = 4.0,
         strategy_classifier: Optional[NaiveBayesClassifier] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
         deadline_seconds: Optional[float] = None,
         max_failure_ratio: float = 1.0,
         retry: Optional[RetryPolicy] = None,
@@ -141,9 +162,14 @@ class EILSystem:
         """Build a ready-to-query system from a generated corpus.
 
         Args:
-            workers: Thread-pool width for the offline parse+annotate
-                stage; the default (1) runs serially.  Results are
-                identical at any width (stable-order merge).
+            workers: Worker count for the offline parse+annotate stage;
+                the default (1, or ``REPRO_WORKERS``) runs serially.
+                Results are identical at any width (stable-order
+                merge).
+            executor: Offline execution mode — ``serial``, ``threads``
+                (default, or ``REPRO_EXECUTOR``) or ``processes`` (true
+                multi-core, sharded by deal).  Results are identical
+                under every mode.
             deadline_seconds: Per-document analysis budget; overruns
                 are quarantined (None disables the check).
             max_failure_ratio: Abort the build when more than this
@@ -159,6 +185,7 @@ class EILSystem:
             scope_min_weight=scope_min_weight,
             strategy_classifier=strategy_classifier,
             workers=workers,
+            executor=executor,
             deadline_seconds=deadline_seconds,
             max_failure_ratio=max_failure_ratio,
             retry=retry,
@@ -167,22 +194,30 @@ class EILSystem:
         return system
 
     def run_offline_pipeline(
-        self, workers: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> BuildReport:
         """Crawl, analyze and populate (Figure 2's offline half).
 
         Args:
             workers: Overrides the system's configured worker count for
                 this run only.
+            executor: Overrides the system's configured execution mode
+                (``serial`` / ``threads`` / ``processes``) for this run
+                only.
         """
         count = self.workers if workers is None else workers
+        mode = self.executor if executor is None else executor
         tracer = get_tracer()
-        with tracer.span("offline.pipeline", workers=count):
+        with tracer.span("offline.pipeline", workers=count,
+                         executor=mode):
             acquisition = DataAcquisition(self.engine, retry=self._retry)
             crawl_report = acquisition.acquire(self.collection)
 
             results = self._analysis.analyze(self.collection,
-                                             workers=count)
+                                             workers=count,
+                                             executor=mode)
             self.analysis_results = results
 
             deal_ids = (

@@ -33,6 +33,18 @@ must keep holding *under injection*:
   seeded from ``(seed, component)``, deterministic for any serial call
   sequence (the online query path).
 
+Process-sharded builds extend the contract: worker processes must
+**never inherit injector state via fork** (an inherited per-key call
+count or stream position would make decisions depend on what the
+parent had already drawn).  Instead each shard task reconstructs a
+fresh injector from the parent's ``(profile, seed)``; because keyed
+draws hash only ``(seed, component, key, nth-call-for-that-key)``,
+the rebuilt injector makes exactly the decisions the serial run would,
+no matter which process draws them.  The injector itself is
+deliberately not picklable (it carries a lock and live decision
+streams) — ship ``injector.profile`` and ``injector.seed``, as
+:meth:`repro.uima.cpe.CollectionProcessingEngine` does.
+
 An injector with an empty profile is a no-op and costs one attribute
 read per fault point, so production code paths keep their speed when no
 faults are configured.

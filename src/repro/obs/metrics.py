@@ -141,6 +141,33 @@ class Histogram:
         """Exportable representation."""
         return {"type": "histogram", **self.summary()}
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        ``count``/``sum``/``min``/``max`` stay exact; the retained
+        sample buffers are concatenated and re-decimated, so
+        percentiles remain representative (the same approximation the
+        buffer already makes past ``max_samples``).  Used to merge
+        worker-process registries into the parent's after a
+        process-sharded offline build.
+        """
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = (other.min if self.min is None
+                        else min(self.min, other.min))
+        if other.max is not None:
+            self.max = (other.max if self.max is None
+                        else max(self.max, other.max))
+        if other._samples:
+            merged = sorted(self._samples + other._samples)
+            self._stride = max(self._stride, other._stride)
+            while len(merged) > self.max_samples:
+                merged = merged[::2]
+                self._stride *= 2
+            self._samples = merged
+            self._pending = 0
+
 
 class Timer:
     """Context manager recording elapsed seconds into a histogram."""
@@ -232,6 +259,39 @@ class MetricsRegistry:
     def timer(self, name: str) -> Timer:
         """Context manager timing a block into histogram ``name``."""
         return Timer(self, name)
+
+    # -- merging / serialization -------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters add, gauges take the other registry's (more recent)
+        value, histograms merge sample-wise.  The process-sharded CPE
+        uses this to land worker-side telemetry (parse timers,
+        per-annotator costs, injected-fault counters) in the parent
+        registry, so ``repro stats`` keeps offline coverage under
+        process execution.
+        """
+        if not self.enabled:
+            return
+        for name, counter in other._counters.items():
+            if counter.value:
+                self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).merge(histogram)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Registries cross process boundaries when shard workers ship
+        # their telemetry home; the lock is process-local state.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- introspection ------------------------------------------------------
 

@@ -8,7 +8,6 @@ stages (other annotators, CPEs) select annotations by type.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
@@ -74,7 +73,7 @@ class Cas:
         self.type_system = type_system
         self.metadata: Dict[str, Any] = dict(metadata or {})
         self._annotations: List[Annotation] = []
-        self._ids = itertools.count(1)
+        self._next_id = 1
 
     # -- adding annotations ----------------------------------------------
 
@@ -102,8 +101,9 @@ class Cas:
                 f"{len(self.text)}"
             )
         annotation = Annotation(
-            next(self._ids), type_name, begin, end, features
+            self._next_id, type_name, begin, end, features
         )
+        self._next_id += 1
         self._annotations.append(annotation)
         return annotation
 
@@ -147,6 +147,40 @@ class Cas:
             raise KeyError(
                 f"annotation #{annotation.annotation_id} not in CAS"
             ) from None
+
+    # -- serialization -----------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """A compact, picklable CAS stream.
+
+        The process-sharded CPE ships analyzed CASes from worker
+        processes back to the consumers, so serialization is explicit
+        API, not an accident of the attribute layout: text, type
+        system, metadata, the annotation tuples, and the next
+        annotation id (so a round-tripped CAS keeps assigning unique
+        ids).
+        """
+        return {
+            "text": self.text,
+            "type_system": self.type_system,
+            "metadata": self.metadata,
+            "annotations": [
+                (a.annotation_id, a.type_name, a.begin, a.end, a.features)
+                for a in self._annotations
+            ],
+            "next_id": self._next_id,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.text = state["text"]
+        self.type_system = state["type_system"]
+        self.metadata = dict(state["metadata"])
+        self._annotations = [
+            Annotation(annotation_id, type_name, begin, end, features)
+            for annotation_id, type_name, begin, end, features
+            in state["annotations"]
+        ]
+        self._next_id = state["next_id"]
 
     def __iter__(self) -> Iterator[Annotation]:
         return iter(self.select())

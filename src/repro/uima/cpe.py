@@ -10,12 +10,48 @@ happens.
 
 The per-document stage (optional ``prepare`` — e.g. parsing a raw
 document to a CAS — followed by the analysis engine) is embarrassingly
-parallel, so :meth:`CollectionProcessingEngine.run` accepts a
-``workers`` count and fans that stage across a thread pool.  Consumers
-are inherently order-sensitive collection-level state, so the per-worker
-streams are merged back in stable submission (document) order before
-any consumer sees a CAS — a ``workers=N`` run feeds consumers the exact
-sequence the serial run would, making the two runs' results identical.
+parallel, so :meth:`CollectionProcessingEngine.run` fans it out over a
+pluggable **executor**:
+
+``serial``
+    One document at a time on the calling thread — the historical
+    reference execution every other mode must reproduce exactly.
+``threads``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` fan-out.  Cheap
+    to start and shares memory, but Python's GIL serializes the
+    CPU-bound annotators, so wall-clock gains are limited to whatever
+    releases the GIL (I/O, injected latency).
+``processes``
+    The corpus is sharded — by deal when a ``shard_key`` is given,
+    contiguous chunks otherwise — across ``multiprocessing`` worker
+    processes, each running prepare+annotate for its shard and sending
+    pickled per-document outcomes back.  This is true multi-core: every
+    worker has its own interpreter and its own GIL.
+
+Consumers are inherently order-sensitive collection-level state, so in
+every mode the per-worker streams are merged back in stable submission
+(document) order before any consumer sees a CAS — a ``workers=N`` run
+feeds consumers the exact sequence the serial run would, making the
+runs' results identical at any worker count under any executor.  The
+merge is *streaming*: outcomes are consumed in submission order as they
+complete (bounded submission window), so a run configured with
+``continue_on_error=False`` — or one that hits a fatal ``prepare``
+error — raises at the same document the serial run would, with wasted
+work bounded by the in-flight window instead of the whole collection.
+
+Process-mode determinism has two extra legs (see
+docs/ARCHITECTURE.md):
+
+* Worker processes never *inherit* fault-injection state via fork.
+  Each shard task installs a fresh :class:`~repro.faults.FaultInjector`
+  rebuilt from the parent's ``(profile, seed)``; keyed draws depend
+  only on ``(seed, component, key, nth-call-for-that-key)``, so the
+  same documents fail no matter which process drew them.
+* Worker-side metrics (parse timers, per-annotator costs, injected
+  fault counters) are recorded into a fresh per-shard
+  :class:`~repro.obs.MetricsRegistry` that rides back with the shard's
+  outcomes and is merged into the parent registry, so ``repro stats``
+  keeps its offline coverage under process execution.
 
 Fault tolerance (docs/OPERATIONS.md): per-document outcomes fall into
 three buckets.  *Processed* documents feed the consumers.  *Failed*
@@ -32,10 +68,29 @@ mostly-dead substrate cannot masquerade as a thin-but-valid build.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import pickle
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import (
     AnnotatorError,
@@ -43,12 +98,20 @@ from repro.errors import (
     DeadlineExceededError,
     TransientError,
 )
-from repro.faults import RetryPolicy
-from repro.obs import get_registry, get_tracer
+from repro.faults import FaultInjector, RetryPolicy, get_injector, set_injector
+from repro.obs import MetricsRegistry, get_registry, get_tracer, set_registry
 from repro.uima.cas import Cas
 from repro.uima.engine import AnalysisEngine
 
-__all__ = ["CasConsumer", "CpeReport", "CollectionProcessingEngine"]
+__all__ = ["CasConsumer", "CpeReport", "CollectionProcessingEngine",
+           "EXECUTORS"]
+
+EXECUTORS = ("serial", "threads", "processes")
+
+# Streaming merge keeps at most workers * _WINDOW_FACTOR outcomes in
+# flight: enough to hide merge latency, small enough to bound wasted
+# work when a merged outcome aborts the run.
+_WINDOW_FACTOR = 4
 
 
 class CasConsumer:
@@ -116,7 +179,12 @@ def _describe_failure(cas: Optional[Cas], exc: BaseException) -> str:
 
 @dataclass
 class _Outcome:
-    """One document's fate, produced in the workers, merged serially."""
+    """One document's fate, produced in the workers, merged serially.
+
+    ``elapsed`` is the wall-clock of the document's *final* attempt and
+    is recorded for every status — a slow document that then fails must
+    stay visible in the latency histograms (docs/OPERATIONS.md).
+    """
 
     cas: Optional[Cas]
     status: str  # "ok" | "failed" | "quarantined" | "fatal"
@@ -124,153 +192,62 @@ class _Outcome:
     elapsed: float
 
 
-class CollectionProcessingEngine:
-    """Run ``engine`` over a CAS collection, then finish the consumers.
+def _picklable_error(exc: Optional[BaseException]) -> Optional[BaseException]:
+    """``exc`` if it survives a pickle round-trip, else a safe stand-in.
 
-    Args:
-        engine: Document-level analysis (usually an aggregate).
-        consumers: Collection-level components, run per CAS in order.
-        continue_on_error: When True (the default, matching a nightly
-            batch pipeline), per-document failures and quarantines are
-            recorded and the run continues; when False the first one
-            raises.
-        workers: Default worker count for :meth:`run` — 1 keeps the
-            historical serial execution.
-        retry: Retry policy for transient per-document errors (None
-            disables retrying; transients then quarantine immediately).
-        deadline_seconds: Per-document budget for prepare+analysis.  A
-            document whose (final-attempt) processing overran it is
-            quarantined.  Threads cannot be pre-empted, so this is a
-            post-hoc check: the slow document still consumed its worker
-            slot once, but its results are withheld from the consumers.
-        max_failure_ratio: Abort threshold for
-            ``(failed + quarantined) / total``; the default 1.0 never
-            aborts (pre-fault-layer behaviour).
+    Process-mode outcomes cross a pipe.  Exceptions wrapping
+    unpicklable state (rare — a socket in ``__cause__``, say) are
+    replaced by an :class:`AnnotatorError` that preserves the original
+    type name and message, so the merge loop still raises/records
+    something attributable instead of dying on a ``PicklingError``.
+    """
+    if exc is None:
+        return None
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return AnnotatorError(f"{type(exc).__name__}: {exc}")
+
+
+@dataclass
+class _DocumentProcessor:
+    """The per-document worker body: prepare + engine under retry.
+
+    Extracted from the CPE so the ``processes`` executor can pickle
+    exactly the state the per-document stage needs (engine, prepare
+    callable, retry policy, deadline) without dragging the consumers —
+    collection-level, main-process-only state — across the pipe.
     """
 
-    def __init__(
-        self,
-        engine: AnalysisEngine,
-        consumers: Sequence[CasConsumer] = (),
-        continue_on_error: bool = True,
-        workers: int = 1,
-        retry: Optional[RetryPolicy] = None,
-        deadline_seconds: Optional[float] = None,
-        max_failure_ratio: float = 1.0,
-    ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if not 0.0 <= max_failure_ratio <= 1.0:
-            raise ValueError(
-                f"max_failure_ratio must be in [0, 1], "
-                f"got {max_failure_ratio}"
-            )
-        if deadline_seconds is not None and deadline_seconds <= 0:
-            raise ValueError(
-                f"deadline_seconds must be > 0, got {deadline_seconds}"
-            )
-        self.engine = engine
-        self.consumers = list(consumers)
-        self.continue_on_error = continue_on_error
-        self.workers = workers
-        self.retry = retry
-        self.deadline_seconds = deadline_seconds
-        self.max_failure_ratio = max_failure_ratio
+    engine: AnalysisEngine
+    prepare: Optional[Callable[[Any], Cas]]
+    retry: Optional[RetryPolicy]
+    deadline_seconds: Optional[float]
 
-    def run(
-        self,
-        collection: Iterable[Any],
-        prepare: Optional[Callable[[Any], Cas]] = None,
-        workers: Optional[int] = None,
-    ) -> CpeReport:
-        """Process every item; returns the collection-level report.
+    def process(self, item: Any) -> _Outcome:
+        """Process one item, never raising.
 
-        Args:
-            collection: CASes, or raw items when ``prepare`` is given.
-            prepare: Maps a raw item to a CAS (e.g. document parsing);
-                runs inside the worker pool so parse *and* annotate fan
-                out together.  ``None`` treats items as ready CASes.
-            workers: Pool size for this run (defaults to the engine's
-                configured ``workers``); 1 runs strictly serially.
-
-        Raises:
-            BuildAbortedError: When more than ``max_failure_ratio`` of
-                the documents failed or were quarantined; the partial
-                report rides on the exception's ``report`` attribute.
+        The recorded elapsed time covers only the final attempt (retry
+        backoff must not count against the document's deadline), for
+        every outcome status — failures keep their real latency.
         """
-        count = self.workers if workers is None else workers
-        if count < 1:
-            raise ValueError(f"workers must be >= 1, got {count}")
-        if count == 1:
-            return self._run_serial(collection, prepare)
-        return self._run_parallel(collection, prepare, count)
-
-    # -- serial path --------------------------------------------------------
-
-    def _run_serial(
-        self,
-        collection: Iterable[Any],
-        prepare: Optional[Callable[[Any], Cas]],
-    ) -> CpeReport:
-        report = CpeReport()
-        with get_tracer().span("cpe.run"):
-            for item in collection:
-                self._merge_outcome(
-                    report, self._process_one(item, prepare)
-                )
-            self._check_failure_ratio(report)
-            self._complete_consumers(report)
-        return report
-
-    # -- parallel path ------------------------------------------------------
-
-    def _run_parallel(
-        self,
-        collection: Iterable[Any],
-        prepare: Optional[Callable[[Any], Cas]],
-        workers: int,
-    ) -> CpeReport:
-        report = CpeReport()
-        with get_tracer().span("cpe.run", workers=workers):
-            items = list(collection)
-            with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="cpe"
-            ) as pool:
-                outcomes = list(
-                    pool.map(
-                        lambda item: self._process_one(item, prepare),
-                        items,
-                    )
-                )
-            # Merge per-worker streams in stable document order so the
-            # consumers observe the exact serial sequence.
-            for outcome in outcomes:
-                self._merge_outcome(report, outcome)
-            self._check_failure_ratio(report)
-            self._complete_consumers(report)
-        return report
-
-    def _process_one(
-        self,
-        item: Any,
-        prepare: Optional[Callable[[Any], Cas]],
-    ) -> _Outcome:
-        """Worker body: prepare + engine under retry, never raising.
-
-        The returned elapsed time covers only the final attempt (retry
-        backoff must not count against the document's deadline).
-        """
-        state = {"cas": None, "prepared": prepare is None}
+        state = {
+            "cas": None,
+            "prepared": self.prepare is None,
+            "started": perf_counter(),
+        }
 
         def attempt() -> float:
-            started = perf_counter()
-            if prepare is not None:
-                state["cas"] = prepare(item)
+            state["started"] = perf_counter()
+            if self.prepare is not None:
+                state["prepared"] = False
+                state["cas"] = self.prepare(item)
                 state["prepared"] = True
             else:
                 state["cas"] = item
             self.engine.run(state["cas"])
-            return perf_counter() - started
+            return perf_counter() - state["started"]
 
         try:
             if self.retry is not None:
@@ -278,15 +255,19 @@ class CollectionProcessingEngine:
             else:
                 elapsed = attempt()
         except TransientError as exc:
-            return _Outcome(state["cas"], "quarantined", exc, 0.0)
+            return _Outcome(state["cas"], "quarantined", exc,
+                            perf_counter() - state["started"])
         except AnnotatorError as exc:
             if not state["prepared"]:
                 # prepare() raised a hard error: propagate, as before
                 # the fault layer (the collection itself is broken).
-                return _Outcome(state["cas"], "fatal", exc, 0.0)
-            return _Outcome(state["cas"], "failed", exc, 0.0)
+                return _Outcome(state["cas"], "fatal", exc,
+                                perf_counter() - state["started"])
+            return _Outcome(state["cas"], "failed", exc,
+                            perf_counter() - state["started"])
         except BaseException as exc:  # re-raised by the merge loop
-            return _Outcome(state["cas"], "fatal", exc, 0.0)
+            return _Outcome(state["cas"], "fatal", exc,
+                            perf_counter() - state["started"])
         if (self.deadline_seconds is not None
                 and elapsed > self.deadline_seconds):
             return _Outcome(
@@ -300,46 +281,369 @@ class CollectionProcessingEngine:
             )
         return _Outcome(state["cas"], "ok", None, elapsed)
 
+
+@dataclass
+class _ShardWorkerState:
+    """Everything a worker process needs, shipped once per worker.
+
+    The fault injector is *not* shipped: workers rebuild one from
+    ``(fault_profile, fault_seed)`` so no decision-stream state is
+    inherited via fork (keyed draws are position-independent, so a
+    rebuilt injector makes exactly the serial run's decisions).
+    """
+
+    processor: _DocumentProcessor
+    continue_on_error: bool
+    fault_profile: Any
+    fault_seed: int
+
+
+_WORKER_STATE: Optional[_ShardWorkerState] = None
+
+
+def _init_shard_worker(state: _ShardWorkerState) -> None:
+    """Process-pool initializer: stash the shipped worker state."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_shard(
+    shard: Sequence[Tuple[int, Any]],
+) -> Tuple[List[Tuple[int, _Outcome]], MetricsRegistry]:
+    """Worker-process task: process one shard, return indexed outcomes.
+
+    Installs a fresh injector (re-seeded, never fork-inherited) and a
+    fresh metrics registry per shard; the registry rides back with the
+    outcomes so the parent can merge worker-side telemetry.  Processing
+    stops at the first outcome the parent's merge loop would raise on
+    (fatal, or any non-ok under ``continue_on_error=False``), so wasted
+    work is bounded shard-locally too.
+    """
+    state = _WORKER_STATE
+    assert state is not None, "worker initializer did not run"
+    set_injector(FaultInjector(state.fault_profile, seed=state.fault_seed))
+    registry = MetricsRegistry()
+    set_registry(registry)
+    outcomes: List[Tuple[int, _Outcome]] = []
+    for index, item in shard:
+        outcome = state.processor.process(item)
+        outcome.error = _picklable_error(outcome.error)
+        outcomes.append((index, outcome))
+        if outcome.status == "fatal" or (
+            outcome.status != "ok" and not state.continue_on_error
+        ):
+            break
+    return outcomes, registry
+
+
+def _build_shards(
+    items: Sequence[Any],
+    workers: int,
+    shard_key: Optional[Callable[[Any], Hashable]],
+) -> List[List[Tuple[int, Any]]]:
+    """Partition ``items`` (tagged with their submission index).
+
+    With a ``shard_key`` (the offline build keys on deal id) every
+    distinct key becomes one shard, in first-seen order — a deal's
+    documents always travel together, which keeps per-deal state
+    (repository handles, fault keys) process-local.  Without a key the
+    items are cut into contiguous chunks, several per worker so the
+    pool can load-balance.  Outcomes carry their submission index, so
+    the merge is order-exact regardless of how shards are formed.
+    """
+    indexed = list(enumerate(items))
+    if not indexed:
+        return []
+    if shard_key is not None:
+        groups: "OrderedDict[Hashable, List[Tuple[int, Any]]]" = OrderedDict()
+        for index, item in indexed:
+            groups.setdefault(shard_key(item), []).append((index, item))
+        return list(groups.values())
+    chunks = min(len(indexed), workers * _WINDOW_FACTOR)
+    size = (len(indexed) + chunks - 1) // chunks
+    return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+
+class CollectionProcessingEngine:
+    """Run ``engine`` over a CAS collection, then finish the consumers.
+
+    Args:
+        engine: Document-level analysis (usually an aggregate).
+        consumers: Collection-level components, run per CAS in order.
+        continue_on_error: When True (the default, matching a nightly
+            batch pipeline), per-document failures and quarantines are
+            recorded and the run continues; when False the first one
+            raises — at the same document under every executor, because
+            outcomes merge in submission order.
+        workers: Default worker count for :meth:`run` — 1 keeps the
+            historical serial execution.
+        executor: Default execution mode for :meth:`run` — one of
+            ``"serial"``, ``"threads"`` (default), ``"processes"``.
+            See the module docstring for the trade-offs; results are
+            identical under all three.
+        retry: Retry policy for transient per-document errors (None
+            disables retrying; transients then quarantine immediately).
+        deadline_seconds: Per-document budget for prepare+analysis.  A
+            document whose (final-attempt) processing overran it is
+            quarantined.  Workers cannot be pre-empted, so this is a
+            post-hoc check: the slow document still consumed its worker
+            slot once, but its results are withheld from the consumers.
+        max_failure_ratio: Abort threshold for
+            ``(failed + quarantined) / total``; the default 1.0 never
+            aborts (pre-fault-layer behaviour).
+    """
+
+    def __init__(
+        self,
+        engine: AnalysisEngine,
+        consumers: Sequence[CasConsumer] = (),
+        continue_on_error: bool = True,
+        workers: int = 1,
+        executor: str = "threads",
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if not 0.0 <= max_failure_ratio <= 1.0:
+            raise ValueError(
+                f"max_failure_ratio must be in [0, 1], "
+                f"got {max_failure_ratio}"
+            )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
+        self.engine = engine
+        self.consumers = list(consumers)
+        self.continue_on_error = continue_on_error
+        self.workers = workers
+        self.executor = executor
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.max_failure_ratio = max_failure_ratio
+
+    def run(
+        self,
+        collection: Iterable[Any],
+        prepare: Optional[Callable[[Any], Cas]] = None,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        shard_key: Optional[Callable[[Any], Hashable]] = None,
+    ) -> CpeReport:
+        """Process every item; returns the collection-level report.
+
+        Args:
+            collection: CASes, or raw items when ``prepare`` is given.
+            prepare: Maps a raw item to a CAS (e.g. document parsing);
+                runs inside the worker pool so parse *and* annotate fan
+                out together.  ``None`` treats items as ready CASes.
+                Under the ``processes`` executor it must be picklable,
+                as must the items and the CASes it produces.
+            workers: Pool size for this run (defaults to the engine's
+                configured ``workers``); 1 runs strictly serially under
+                any executor.
+            executor: Execution mode for this run (defaults to the
+                engine's configured ``executor``).
+            shard_key: ``item -> shard identity`` for the ``processes``
+                executor (the offline build passes the deal id, so a
+                deal's documents stay in one worker).  ``None`` shards
+                into contiguous chunks.  Ignored by other executors.
+
+        Raises:
+            BuildAbortedError: When more than ``max_failure_ratio`` of
+                the documents failed or were quarantined; the partial
+                report rides on the exception's ``report`` attribute.
+        """
+        count = self.workers if workers is None else workers
+        if count < 1:
+            raise ValueError(f"workers must be >= 1, got {count}")
+        mode = self.executor if executor is None else executor
+        if mode not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {mode!r}"
+            )
+        processor = _DocumentProcessor(
+            self.engine, prepare, self.retry, self.deadline_seconds
+        )
+        if mode == "serial" or count == 1:
+            return self._run_serial(collection, processor)
+        if mode == "threads":
+            return self._run_threads(collection, processor, count)
+        return self._run_processes(collection, processor, count, shard_key)
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(
+        self,
+        collection: Iterable[Any],
+        processor: _DocumentProcessor,
+    ) -> CpeReport:
+        report = CpeReport()
+        with get_tracer().span("cpe.run", executor="serial"):
+            for item in collection:
+                self._merge_outcome(report, processor.process(item))
+            self._check_failure_ratio(report)
+            self._complete_consumers(report)
+        return report
+
+    # -- thread-pool path ---------------------------------------------------
+
+    def _run_threads(
+        self,
+        collection: Iterable[Any],
+        processor: _DocumentProcessor,
+        workers: int,
+    ) -> CpeReport:
+        """Thread fan-out with a streaming, submission-order merge.
+
+        Outcomes are merged strictly in submission order *as they
+        complete*, with at most ``workers * 4`` documents in flight —
+        so the consumers observe the exact serial sequence, and when a
+        merged outcome raises (fatal error, or ``continue_on_error=
+        False``) no further documents are submitted: the run fails at
+        the same document as the serial run, with wasted work bounded
+        by the window instead of the whole collection.
+        """
+        report = CpeReport()
+        with get_tracer().span("cpe.run", workers=workers,
+                               executor="threads"):
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="cpe"
+            ) as pool:
+                items = iter(collection)
+                pending: Deque[Future] = deque()
+
+                def submit_next() -> None:
+                    for item in items:
+                        pending.append(pool.submit(processor.process, item))
+                        return
+
+                for _ in range(workers * _WINDOW_FACTOR):
+                    submit_next()
+                try:
+                    while pending:
+                        outcome = pending.popleft().result()
+                        submit_next()
+                        self._merge_outcome(report, outcome)
+                except BaseException:
+                    for future in pending:
+                        future.cancel()
+                    raise
+            self._check_failure_ratio(report)
+            self._complete_consumers(report)
+        return report
+
+    # -- process-pool path --------------------------------------------------
+
+    def _run_processes(
+        self,
+        collection: Iterable[Any],
+        processor: _DocumentProcessor,
+        workers: int,
+        shard_key: Optional[Callable[[Any], Hashable]],
+    ) -> CpeReport:
+        """Shard across worker processes; merge in submission order.
+
+        Each shard task returns ``(submission index, outcome)`` pairs
+        plus its worker-side metrics registry.  The merge buffers
+        whatever arrives out of order and feeds the consumers strictly
+        by submission index, so results — including the document a
+        failing run raises at — are identical to the serial run.
+        """
+        items = list(collection)
+        report = CpeReport()
+        injector = get_injector()
+        state = _ShardWorkerState(
+            processor=processor,
+            continue_on_error=self.continue_on_error,
+            fault_profile=injector.profile,
+            fault_seed=injector.seed,
+        )
+        shards = _build_shards(items, workers, shard_key)
+        registry = get_registry()
+        with get_tracer().span("cpe.run", workers=workers,
+                               executor="processes", shards=len(shards)):
+            if shards:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(shards)),
+                    mp_context=_pool_context(),
+                    initializer=_init_shard_worker,
+                    initargs=(state,),
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_shard, shard) for shard in shards
+                    ]
+                    buffered: Dict[int, _Outcome] = {}
+                    next_index = 0
+                    try:
+                        for future in as_completed(futures):
+                            outcomes, shard_registry = future.result()
+                            registry.merge(shard_registry)
+                            for index, outcome in outcomes:
+                                buffered[index] = outcome
+                            while next_index in buffered:
+                                self._merge_outcome(
+                                    report, buffered.pop(next_index)
+                                )
+                                next_index += 1
+                    except BaseException:
+                        for future in futures:
+                            future.cancel()
+                        raise
+            self._check_failure_ratio(report)
+            self._complete_consumers(report)
+        return report
+
     # -- shared bookkeeping -------------------------------------------------
 
     def _merge_outcome(self, report: CpeReport, outcome: _Outcome) -> None:
         if outcome.status == "fatal":
             raise outcome.error
         if outcome.status == "failed":
-            self._record_failure(report, outcome.cas, outcome.error)
+            self._record_failure(report, outcome)
             if not self.continue_on_error:
                 raise outcome.error
             return
         if outcome.status == "quarantined":
-            self._record_quarantine(report, outcome.cas, outcome.error)
+            self._record_quarantine(report, outcome)
             if not self.continue_on_error:
                 raise outcome.error
             return
-        self._record_success(report, outcome.cas, outcome.elapsed)
+        self._record_success(report, outcome)
 
-    def _record_success(
-        self, report: CpeReport, cas: Cas, elapsed: float
-    ) -> None:
+    def _record_success(self, report: CpeReport, outcome: _Outcome) -> None:
         metrics = get_registry()
         report.documents_processed += 1
         metrics.inc("cpe.documents_processed")
-        metrics.observe("cpe.document_seconds", elapsed)
+        metrics.observe("cpe.document_seconds", outcome.elapsed)
         for consumer in self.consumers:
-            consumer.process_cas(cas)
+            consumer.process_cas(outcome.cas)
 
-    def _record_failure(
-        self, report: CpeReport, cas: Optional[Cas], exc: BaseException
-    ) -> None:
+    def _record_failure(self, report: CpeReport, outcome: _Outcome) -> None:
+        metrics = get_registry()
         report.documents_failed += 1
-        report.failures.append(_describe_failure(cas, exc))
-        get_registry().inc("cpe.documents_failed")
+        report.failures.append(
+            _describe_failure(outcome.cas, outcome.error)
+        )
+        metrics.inc("cpe.documents_failed")
+        metrics.observe("cpe.document_seconds.failed", outcome.elapsed)
 
     def _record_quarantine(
-        self, report: CpeReport, cas: Optional[Cas], exc: BaseException
+        self, report: CpeReport, outcome: _Outcome
     ) -> None:
+        metrics = get_registry()
         report.documents_quarantined += 1
-        report.quarantined.append(_describe_failure(cas, exc))
-        get_registry().inc("cpe.documents_quarantined")
+        report.quarantined.append(
+            _describe_failure(outcome.cas, outcome.error)
+        )
+        metrics.inc("cpe.documents_quarantined")
+        metrics.observe("cpe.document_seconds.quarantined", outcome.elapsed)
 
     def _check_failure_ratio(self, report: CpeReport) -> None:
         if report.failure_ratio > self.max_failure_ratio:
@@ -359,3 +663,18 @@ class CollectionProcessingEngine:
                 report.consumer_results[consumer.name] = (
                     consumer.collection_process_complete()
                 )
+
+
+def _pool_context():
+    """The multiprocessing context for shard pools.
+
+    Prefer ``fork`` (cheap start, no re-import) where the platform
+    offers it; shard workers re-seed their injector and registry
+    explicitly, so nothing correctness-relevant rides on fork
+    inheritance, and the spawn fallback works because every shipped
+    object (processor, profile, outcomes) is picklable.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

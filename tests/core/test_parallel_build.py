@@ -6,12 +6,19 @@ must produce :class:`AnalysisResults` *equal* to the serial run, and a
 parallel-built :class:`EILSystem` must answer queries identically.
 """
 
+import threading
+
 import pytest
 
-from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User, obs
 from repro.core import scope_query
 from repro.core.analysis import InformationAnalysis
 from repro.core.metaqueries import service_keyword_query
+from repro.errors import AnnotatorError, TransientError
+from repro.uima.cas import Cas
+from repro.uima.cpe import CollectionProcessingEngine
+from repro.uima.engine import AnalysisEngine
+from repro.uima.typesystem import TypeSystem
 
 SALES = User("u", frozenset({"sales"}))
 
@@ -77,3 +84,142 @@ class TestParallelSystemBuild:
     def test_invalid_workers_rejected(self, corpus):
         with pytest.raises(ValueError):
             EILSystem.build(corpus, workers=0)
+
+
+def _type_system():
+    ts = TypeSystem()
+    ts.define("t.Word", ["text"])
+    return ts
+
+
+class _RecordingEngine(AnalysisEngine):
+    """Counts processed documents; fails or stalls on demand."""
+
+    name = "recording"
+
+    def __init__(self, fail_at=frozenset(), stall_at=frozenset(),
+                 stall_seconds=0.0):
+        self.fail_at = set(fail_at)
+        self.stall_at = set(stall_at)
+        self.stall_seconds = stall_seconds
+        self.processed = []
+        self._lock = threading.Lock()
+
+    def process(self, cas: Cas) -> None:
+        doc_id = cas.metadata["doc_id"]
+        with self._lock:
+            self.processed.append(doc_id)
+        if doc_id in self.stall_at and self.stall_seconds:
+            import time
+            time.sleep(self.stall_seconds)
+        if doc_id in self.fail_at:
+            raise AnnotatorError(f"hard failure at {doc_id}")
+
+
+def _collection(ts, n):
+    return [
+        Cas(f"text {i:04d}", ts, {"doc_id": i, "deal_id": f"deal-{i % 3}"})
+        for i in range(n)
+    ]
+
+
+class TestStreamingFailureParity:
+    """``continue_on_error=False`` fails at the serial run's document,
+    with wasted work bounded by the in-flight window, not the corpus."""
+
+    def test_serial_and_threads_raise_at_same_document(self):
+        ts = _type_system()
+        serial_engine = _RecordingEngine(fail_at={5})
+        with pytest.raises(AnnotatorError, match="at 5"):
+            CollectionProcessingEngine(
+                serial_engine, continue_on_error=False
+            ).run(_collection(ts, 60))
+        assert serial_engine.processed == list(range(6))
+
+        threads_engine = _RecordingEngine(fail_at={5})
+        with pytest.raises(AnnotatorError, match="at 5"):
+            CollectionProcessingEngine(
+                threads_engine, continue_on_error=False
+            ).run(_collection(ts, 60), workers=2, executor="threads")
+        # Submission window is workers * 4 plus the pool's in-flight
+        # slots — nowhere near the 60-document collection the old
+        # list(pool.map(...)) path would have burned through.
+        assert len(threads_engine.processed) <= 5 + 1 + 2 * 4 + 2
+
+    def test_fatal_prepare_error_stops_submission(self):
+        ts = _type_system()
+        engine = _RecordingEngine()
+        seen = []
+
+        def prepare(item):
+            seen.append(item)
+            if item == 7:
+                raise AnnotatorError("collection broken at 7")
+            return Cas(f"text {item}", ts, {"doc_id": item,
+                                            "deal_id": "d"})
+
+        with pytest.raises(AnnotatorError, match="at 7"):
+            CollectionProcessingEngine(engine).run(
+                list(range(50)), prepare=prepare, workers=2,
+                executor="threads",
+            )
+        assert len(seen) <= 7 + 1 + 2 * 4 + 2
+
+    def test_processes_raise_at_same_document(self):
+        ts = _type_system()
+        with pytest.raises(AnnotatorError, match="at 5"):
+            CollectionProcessingEngine(
+                _RecordingEngine(fail_at={5}), continue_on_error=False
+            ).run(_collection(ts, 30), workers=2, executor="processes",
+                  shard_key=lambda cas: cas.metadata["deal_id"])
+
+
+class TestElapsedAccounting:
+    """Every outcome records its real elapsed time, so slow-then-failing
+    documents stay visible under ``cpe.document_seconds.failed``."""
+
+    STALL = 0.02
+
+    def _run(self, engine, ts, n=6):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            CollectionProcessingEngine(engine).run(_collection(ts, n))
+        return registry
+
+    def test_failed_documents_record_elapsed(self):
+        ts = _type_system()
+        registry = self._run(_RecordingEngine(
+            fail_at={2}, stall_at={2}, stall_seconds=self.STALL
+        ), ts)
+        histogram = registry.histograms["cpe.document_seconds.failed"]
+        assert histogram.count == 1
+        assert histogram.max >= self.STALL
+
+    def test_transient_quarantine_records_elapsed(self):
+        # Transients come from the substrates (prepare side), as in
+        # the real pipeline where repository/crawler checks fire.
+        ts = _type_system()
+        stall = self.STALL
+
+        def prepare(item):
+            if item == 3:
+                import time
+                time.sleep(stall)
+                raise TransientError("substrate blip at 3")
+            return Cas(f"text {item}", ts, {"doc_id": item,
+                                            "deal_id": "d"})
+
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            CollectionProcessingEngine(_RecordingEngine()).run(
+                list(range(6)), prepare=prepare
+            )
+        histogram = registry.histograms[
+            "cpe.document_seconds.quarantined"
+        ]
+        assert histogram.count == 1
+        assert histogram.max >= self.STALL
+
+    def test_successes_keep_their_histogram(self):
+        ts = _type_system()
+        registry = self._run(_RecordingEngine(), ts)
+        assert registry.histograms["cpe.document_seconds"].count == 6
+        assert "cpe.document_seconds.failed" not in registry.histograms

@@ -114,3 +114,27 @@ class TestDegradedBypass:
         cache.put("k", value)
         assert cache.get("k") is value
         assert "t.cache.bypassed" not in registry.counters
+
+
+class TestDisabledCacheMetricSemantics:
+    """``max_entries=0`` disables storage, not classification: degraded
+    puts still count as bypassed and ``None`` still raises, so metric
+    meaning does not depend on cache sizing."""
+
+    def test_degraded_put_counts_bypassed_when_disabled(self, registry):
+        cache = LruCache("t.cache", 0)
+        cache.put("k", _Value(degraded="no-index"))
+        assert registry.counters["t.cache.bypassed"].value == 1
+        assert len(cache) == 0
+
+    def test_none_rejected_when_disabled(self, registry):
+        cache = LruCache("t.cache", 0)
+        with pytest.raises(ValueError):
+            cache.put("k", None)
+
+    def test_clean_put_stores_nothing_and_counts_nothing(self, registry):
+        cache = LruCache("t.cache", 0)
+        cache.put("k", _Value())
+        assert cache.get("k") is None
+        assert "t.cache.bypassed" not in registry.counters
+        assert "t.cache.evictions" not in registry.counters
