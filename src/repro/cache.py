@@ -100,23 +100,26 @@ class LruCache:
             return
         if self.max_entries == 0:
             return
-        evicted = 0
+        # The gauge is written while the lock is held: a put that
+        # publishes its size after releasing the lock can interleave
+        # with a concurrent put/evict and leave ``<name>.size``
+        # permanently disagreeing with ``len(cache)``.
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            evicted = 0
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 evicted += 1
-            size = len(self._entries)
-        if evicted:
-            metrics.inc(f"{self.name}.evictions", evicted)
-        metrics.set_gauge(f"{self.name}.size", size)
+            if evicted:
+                metrics.inc(f"{self.name}.evictions", evicted)
+            metrics.set_gauge(f"{self.name}.size", len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (capacity and counters are untouched)."""
         with self._lock:
             self._entries.clear()
-        get_registry().set_gauge(f"{self.name}.size", 0)
+            get_registry().set_gauge(f"{self.name}.size", 0)
 
     def __len__(self) -> int:
         with self._lock:

@@ -10,6 +10,10 @@ Commands:
 * ``synopsis`` — print one deal's synopsis by name or id.
 * ``stats``   — build + query with a fresh metrics registry and print
   the per-stage observability report (offline and online pipelines).
+* ``serve``   — closed-loop serving demo: N concurrent client threads
+  drive the query mix through :class:`~repro.serving.EILServer`
+  (admission control, deadlines, shedding) and the ``serving.*``
+  metrics snapshot is printed at the end.
 
 The CLI always works on the synthetic corpus (seeded, so results are
 reproducible); flags control scale and the query.
@@ -27,6 +31,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
+import time
 from typing import List, Optional
 
 from repro import obs
@@ -50,6 +56,7 @@ from repro.errors import EILUnavailableError, TransientError
 from repro.eval.study import MetaQueryClassifier
 from repro.faults import FaultInjector, FaultProfile, use_injector
 from repro.security.access import User
+from repro.serving import EILServer
 
 __all__ = ["main", "build_parser"]
 
@@ -81,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "the corpus by deal across worker "
                              "processes for true multi-core builds — "
                              "results are identical under every mode")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition the inverted index into this "
+                             "many deal-keyed shards served by fan-out "
+                             "+ rank-merge (default: 1 or "
+                             "$REPRO_SHARDS; rankings are bit-identical "
+                             "at any shard count)")
     parser.add_argument("--fault-profile", default="",
                         help="arm the fault injector, e.g. "
                              "'db:error=0.2;index:latency=0.05' "
@@ -129,6 +142,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the raw metrics/trace JSON instead of "
                             "the text report")
 
+    serve = commands.add_parser(
+        "serve",
+        help="closed-loop serving demo: concurrent clients through "
+             "the EILServer front door",
+    )
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads (default: 4)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests per client (default: 8)")
+    serve.add_argument("--concurrency", type=int, default=4,
+                       help="server worker threads (default: 4)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission queue slots beyond the workers "
+                            "(default: 16)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds (default: "
+                            "none)")
+    serve.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the serving metrics as JSON")
+
     return parser
 
 
@@ -143,7 +176,8 @@ def _make_system(args: argparse.Namespace) -> tuple:
                          docs_per_deal=args.docs)
         ).generate()
     return corpus, EILSystem.build(corpus, workers=args.workers,
-                                   executor=args.executor)
+                                   executor=args.executor,
+                                   shards=args.shards)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -287,6 +321,73 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with obs.use_registry() as registry:
+        corpus, eil = _make_system(args)
+        member = corpus.deals[0].team[0]
+        forms = (
+            scope_query("End User Services"),
+            worked_with_query(member.person.full_name),
+            role_capacity_query("cross tower TSA"),
+            service_keyword_query("Storage Management Services",
+                                  "data replication"),
+        )
+
+        def client(offset: int) -> None:
+            for i in range(max(1, args.requests)):
+                form = forms[(offset + i) % len(forms)]
+                try:
+                    server.search(form, _USER,
+                                  deadline_seconds=args.deadline)
+                except TransientError:
+                    pass  # shed / deadline / open breaker: counted.
+                except EILUnavailableError:
+                    pass  # full outage under --fault-profile: counted.
+
+        with EILServer(eil, max_concurrency=args.concurrency,
+                       queue_depth=args.queue_depth) as server:
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(n,),
+                                 name=f"client-{n}")
+                for n in range(max(1, args.clients))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+
+        serving = {
+            name: value
+            for name, value in registry.snapshot().items()
+            if name.startswith("serving.")
+        }
+        completed = registry.counters.get("serving.completed")
+        qps = (completed.value / elapsed) if completed and elapsed else 0.0
+        if args.as_json:
+            print(json.dumps({"elapsed_seconds": elapsed,
+                              "sustained_qps": qps,
+                              "metrics": serving}, indent=2))
+            return 0
+        print(f"clients: {args.clients} x {args.requests} requests, "
+              f"server concurrency {args.concurrency} "
+              f"(+{args.queue_depth} queued)")
+        print(f"elapsed: {elapsed:.3f}s  sustained: {qps:.1f} q/s")
+        latency = registry.histograms.get("serving.latency")
+        if latency is not None and latency.count:
+            print("latency: "
+                  f"p50={latency.percentile(50) * 1000:.1f}ms  "
+                  f"p95={latency.percentile(95) * 1000:.1f}ms  "
+                  f"p99={latency.percentile(99) * 1000:.1f}ms")
+        for name in sorted(serving):
+            value = serving[name]
+            if value.get("type") == "histogram":
+                continue
+            print(f"  {name}: {value.get('value', 0)}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "search": _cmd_search,
@@ -294,6 +395,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "synopsis": _cmd_synopsis,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

@@ -68,6 +68,16 @@ def _default_executor() -> str:
     return os.environ.get("REPRO_EXECUTOR", "threads")
 
 
+def _default_shards() -> int:
+    """Engine shard count when unspecified: ``REPRO_SHARDS`` or 1.
+
+    Like ``REPRO_WORKERS``, the override exists so an entire test or CI
+    run can be re-executed against the sharded engine (rankings are
+    bit-identical at any shard count) without touching call sites.
+    """
+    return int(os.environ.get("REPRO_SHARDS", "1"))
+
+
 @dataclass
 class BuildReport:
     """What the offline pipeline produced.
@@ -109,21 +119,37 @@ class EILSystem:
         deadline_seconds: Optional[float] = None,
         max_failure_ratio: float = 1.0,
         retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
     ) -> None:
         workers = _default_workers() if workers is None else workers
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        shards = _default_shards() if shards is None else shards
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.taxonomy = taxonomy
         self.collection = collection
         self.directory = directory
         self.access = access or AccessController()
         self.workers = workers
         self.executor = executor or _default_executor()
+        self.shards = shards
         self._query_cache_size = query_cache_size
-        self.engine = SearchEngine(
-            field_boosts=field_boosts or {"title": 2.0},
-            cache_size=engine_cache_size,
-        )
+        if shards > 1:
+            # Deal-keyed partitions, bit-identical rankings (the shard
+            # engines score with corpus-global statistics).
+            from repro.serving.sharding import ShardedSearchEngine
+
+            self.engine = ShardedSearchEngine(
+                shards=shards,
+                field_boosts=field_boosts or {"title": 2.0},
+                cache_size=engine_cache_size,
+            )
+        else:
+            self.engine = SearchEngine(
+                field_boosts=field_boosts or {"title": 2.0},
+                cache_size=engine_cache_size,
+            )
         self.siapi = SiapiService(self.engine)
         self.organized = OrganizedInformation()
         self.synopsis_builder = SynopsisBuilder(self.organized)
@@ -158,6 +184,7 @@ class EILSystem:
         deadline_seconds: Optional[float] = None,
         max_failure_ratio: float = 1.0,
         retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
     ) -> "EILSystem":
         """Build a ready-to-query system from a generated corpus.
 
@@ -176,6 +203,10 @@ class EILSystem:
                 fraction of documents failed or were quarantined.
             retry: Retry policy for transient failures across both
                 pipelines (defaults to three quick attempts).
+            shards: Online index partitions (default 1, or
+                ``REPRO_SHARDS``); > 1 serves queries by deal-keyed
+                fan-out with rankings bit-identical to the unsharded
+                engine.
         """
         system = cls(
             taxonomy=corpus.taxonomy,
@@ -189,6 +220,7 @@ class EILSystem:
             deadline_seconds=deadline_seconds,
             max_failure_ratio=max_failure_ratio,
             retry=retry,
+            shards=shards,
         )
         system.run_offline_pipeline()
         return system

@@ -38,6 +38,7 @@ from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.cache import LruCache
+from repro.concurrency import AtomicCounter
 from repro.core.organized import OrganizedInformation
 from repro.core.query_analyzer import FormQuery, SynopsisMatch, SynopsisSearch
 from repro.core.ranking import RankCombiner, RankedActivity
@@ -193,7 +194,10 @@ class BusinessActivityDrivenSearch:
         self.access = access or AccessController()
         self.repositories = dict(repositories or {})
         self.combiner = combiner or RankCombiner()
-        self.epoch = 0
+        # Atomic: concurrent add_workbook/remove_deal calls both bump
+        # the epoch, and a lost increment would let a stale cache key
+        # survive the second mutation.
+        self._epoch = AtomicCounter()
         self._cache = LruCache("query.cache", cache_size)
         self.retry = retry or RetryPolicy()
         self.synopsis_breaker = synopsis_breaker or CircuitBreaker(
@@ -205,13 +209,18 @@ class BusinessActivityDrivenSearch:
             ignore=(QuerySyntaxError,),
         )
 
+    @property
+    def epoch(self) -> int:
+        """The cache-invalidation epoch (bumped by :meth:`invalidate`)."""
+        return self._epoch.value
+
     def invalidate(self) -> None:
         """Bump the search epoch; every cached result goes stale.
 
         Called by incremental maintenance (``EILSystem.add_workbook`` /
         ``remove_deal``) after the organized information changes.
         """
-        self.epoch += 1
+        self._epoch.increment()
 
     def execute(
         self,

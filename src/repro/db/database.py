@@ -12,6 +12,15 @@ and the synopsis queries read from.  One :class:`Database` owns a set of
   ``transaction()`` context manager.  Statements outside a transaction
   auto-commit.
 * Foreign keys with RESTRICT semantics, checked at statement level.
+
+Concurrency: row-level statements run under a writer-preferring
+read/write lock — SELECTs share the read side, INSERT/UPDATE/DELETE
+(and rollback's undo replay) take the write side — so a synopsis query
+racing incremental onboarding/offboarding can never observe a table
+mid-mutation.  Isolation is *per statement*, not per transaction
+(single-writer callers like the serving layer's mutation paths are the
+intended users); DDL and catalog lookups are the offline build's
+single-threaded domain and stay unlocked.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.concurrency import ReadWriteLock
 from repro.db.query import ResultSet, SelectStatement, execute_select
 from repro.db.schema import ForeignKey, TableSchema
 from repro.db.sql import (
@@ -51,6 +61,7 @@ class Database:
         self._undo_log: Optional[
             List[Tuple[str, str, int, Optional[tuple], Optional[tuple]]]
         ] = None
+        self._rw = ReadWriteLock()
 
     # -- catalog -----------------------------------------------------------
 
@@ -126,16 +137,17 @@ class Database:
         if self._undo_log is None:
             raise TransactionError("no transaction in progress")
         log, self._undo_log = self._undo_log, None
-        for table_name, op, rowid, old_row, _new_row in reversed(log):
-            table = self._tables[table_name]
-            if op == "insert":
-                table.undo_insert(rowid)
-            elif op == "delete":
-                assert old_row is not None
-                table.undo_delete(rowid, old_row)
-            else:  # update
-                assert old_row is not None
-                table.undo_update(rowid, old_row)
+        with self._rw.write():
+            for table_name, op, rowid, old_row, _new_row in reversed(log):
+                table = self._tables[table_name]
+                if op == "insert":
+                    table.undo_insert(rowid)
+                elif op == "delete":
+                    assert old_row is not None
+                    table.undo_delete(rowid, old_row)
+                else:  # update
+                    assert old_row is not None
+                    table.undo_update(rowid, old_row)
 
     @contextmanager
     def transaction(self) -> Iterator["Database"]:
@@ -232,9 +244,24 @@ class Database:
     def execute_statement(
         self, statement: Statement, params: Sequence[Any] = ()
     ) -> ResultSet:
-        """Execute an already-parsed statement."""
+        """Execute an already-parsed statement.
+
+        Row-level statements are serialized against each other by the
+        database's read/write lock: SELECTs share the read side,
+        mutations take the write side.
+        """
         if isinstance(statement, SelectStatement):
-            return execute_select(self, statement, params)
+            with self._rw.read():
+                return execute_select(self, statement, params)
+        if isinstance(statement, Insert):
+            with self._rw.write():
+                return _rowcount(self._execute_insert(statement, params))
+        if isinstance(statement, Update):
+            with self._rw.write():
+                return _rowcount(self._execute_update(statement, params))
+        if isinstance(statement, Delete):
+            with self._rw.write():
+                return _rowcount(self._execute_delete(statement, params))
         if isinstance(statement, CreateTable):
             self.create_table(statement.schema)
             return _rowcount(0)
@@ -249,12 +276,6 @@ class Database:
         if isinstance(statement, DropTable):
             self.drop_table(statement.table)
             return _rowcount(0)
-        if isinstance(statement, Insert):
-            return _rowcount(self._execute_insert(statement, params))
-        if isinstance(statement, Update):
-            return _rowcount(self._execute_update(statement, params))
-        if isinstance(statement, Delete):
-            return _rowcount(self._execute_delete(statement, params))
         raise ProgrammingError(f"unsupported statement {statement!r}")
 
     def _execute_insert(self, statement: Insert, params: Sequence[Any]) -> int:
@@ -274,12 +295,18 @@ class Database:
                 column: expr.bind(params).evaluate({})
                 for column, expr in zip(columns, value_exprs)
             }
-            self.insert(statement.table, values)
+            self._insert_unlocked(statement.table, values)
             count += 1
         return count
 
     def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
         """Insert one row (programmatic path); returns the row id."""
+        with self._rw.write():
+            return self._insert_unlocked(table_name, values)
+
+    def _insert_unlocked(
+        self, table_name: str, values: Mapping[str, Any]
+    ) -> int:
         table = self.table(table_name)
         self._check_fk_on_insert(table, values)
         return table.insert(values)
@@ -328,7 +355,8 @@ class Database:
         self, statement: SelectStatement, params: Sequence[Any] = ()
     ) -> ResultSet:
         """Run a prebuilt SELECT (skips the SQL parser)."""
-        return execute_select(self, statement, params)
+        with self._rw.read():
+            return execute_select(self, statement, params)
 
     def query_one(
         self, sql: str, params: Sequence[Any] = ()

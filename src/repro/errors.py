@@ -28,6 +28,7 @@ __all__ = [
     "InjectedFaultError",
     "DeadlineExceededError",
     "CircuitOpenError",
+    "ServerOverloadedError",
     "BuildAbortedError",
     "EILUnavailableError",
 ]
@@ -127,6 +128,14 @@ class DeadlineExceededError(TransientError):
 
 class CircuitOpenError(TransientError):
     """A circuit breaker is open; the protected call was not attempted."""
+
+
+class ServerOverloadedError(TransientError):
+    """The serving layer shed the request (admission queue full).
+
+    Transient by design: the client's correct move is to back off and
+    retry, exactly as for any other momentary substrate failure.
+    """
 
 
 class BuildAbortedError(ReproError):

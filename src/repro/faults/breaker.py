@@ -5,8 +5,17 @@ Classic closed → open → half-open state machine: after
 *opens* and every call is rejected instantly with
 :class:`CircuitOpenError` (no load lands on the struggling substrate,
 and the caller degrades immediately instead of waiting out retries).
-After ``recovery_seconds`` the next call is let through as a
-*half-open* probe; success closes the breaker, failure re-opens it.
+After ``recovery_seconds`` the breaker goes *half-open* and admits
+exactly **one** probe call; success closes the breaker, failure
+re-opens it.
+
+Half-open is single-flight: under concurrent load, every caller beyond
+the probe fast-fails with :class:`CircuitOpenError` (counted under
+``breaker.rejected.<name>``) instead of stampeding a substrate that is
+still getting back on its feet.  Re-opening after a failed probe counts
+as **one** trip regardless of how many threads observed the failure —
+``breaker.open`` counts open *transitions*, so one outage reads as one
+trip in ``repro stats``.
 
 The clock is injectable so tests drive recovery without sleeping, and
 :class:`CircuitOpenError` subclasses :class:`TransientError`, so an open
@@ -14,8 +23,12 @@ breaker lands in the same degradation handling as the outage that
 tripped it.
 
 Metrics: ``breaker.open`` counts trips (plus ``breaker.open.<name>``),
-``breaker.rejected.<name>`` counts fast-failed calls, and the gauge
-``breaker.state.<name>`` exports 0 = closed, 1 = half-open, 2 = open.
+``breaker.rejected.<name>`` counts fast-failed calls (open rejections
+and crowded half-open probes alike), and the gauge
+``breaker.state.<name>`` exports 0 = closed, 1 = half-open, 2 = open —
+the half-open value is exported as soon as the recovery window is
+first observed to have elapsed, so dashboards see the 2 → 1 → 0 (or
+2 → 1 → 2) walk rather than an inexplicable 2 → 0 jump.
 """
 
 from __future__ import annotations
@@ -73,6 +86,10 @@ class CircuitBreaker:
         self._state = CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        # Half-open admits exactly one probe; True while it is in
+        # flight.  Cleared by whichever of record_success /
+        # record_failure / probe-release runs first.
+        self._probe_in_flight = False
 
     # -- state -------------------------------------------------------------
 
@@ -80,13 +97,18 @@ class CircuitBreaker:
     def state(self) -> str:
         """``closed``, ``half-open`` or ``open`` (recovery-aware)."""
         with self._lock:
-            return self._current_state()
+            return self._observe_state()
 
-    def _current_state(self) -> str:
+    def _observe_state(self) -> str:
+        """Current state; transitions OPEN → HALF_OPEN when the window
+        has elapsed (exporting the gauge), so half-open is a real,
+        observable state rather than a value derived in passing.
+        Caller must hold the lock.
+        """
         if self._state == OPEN and (
             self.clock() - self._opened_at >= self.recovery_seconds
         ):
-            return HALF_OPEN
+            self._set_state(HALF_OPEN)
         return self._state
 
     def _set_state(self, state: str) -> None:
@@ -95,33 +117,52 @@ class CircuitBreaker:
             f"breaker.state.{self.name}", _STATE_GAUGE[state]
         )
 
+    def _trip(self) -> None:
+        """Transition to OPEN and count it (caller must hold the lock)."""
+        metrics = get_registry()
+        self._set_state(OPEN)
+        self._opened_at = self.clock()
+        metrics.inc("breaker.open")
+        metrics.inc(f"breaker.open.{self.name}")
+
     # -- bookkeeping --------------------------------------------------------
 
     def record_success(self) -> None:
         """A protected call succeeded; close and reset."""
         with self._lock:
+            self._probe_in_flight = False
             self._failures = 0
             if self._state != CLOSED:
                 self._set_state(CLOSED)
 
     def record_failure(self) -> None:
-        """A classified failure; trips the breaker at the threshold."""
-        metrics = get_registry()
+        """A classified failure; trips the breaker at the threshold.
+
+        Re-opening from half-open counts exactly one trip per open
+        transition: the first failure re-opens (and restarts the
+        recovery window); any further concurrent failures land in the
+        already-open state and only bump the failure count.
+        """
         with self._lock:
-            if self._current_state() == HALF_OPEN:
-                # The probe failed: straight back to open.
-                self._set_state(OPEN)
-                self._opened_at = self.clock()
-                metrics.inc("breaker.open")
-                metrics.inc(f"breaker.open.{self.name}")
+            self._probe_in_flight = False
+            if self._observe_state() == HALF_OPEN:
+                # The probe failed: straight back to open, counted once.
+                self._trip()
                 return
             self._failures += 1
             if (self._state == CLOSED
                     and self._failures >= self.failure_threshold):
-                self._set_state(OPEN)
-                self._opened_at = self.clock()
-                metrics.inc("breaker.open")
-                metrics.inc(f"breaker.open.{self.name}")
+                self._trip()
+
+    def _release_probe(self, held: bool) -> None:
+        """Free the probe slot after an unclassified/ignored exception.
+
+        The substrate neither succeeded nor classifiedly failed, so the
+        breaker stays half-open and the next caller may probe.
+        """
+        if held:
+            with self._lock:
+                self._probe_in_flight = False
 
     # -- the protected call -------------------------------------------------
 
@@ -130,22 +171,38 @@ class CircuitBreaker:
 
         Raises:
             CircuitOpenError: Without calling ``fn``, when the breaker
-                is open and the recovery window has not elapsed.
+                is open and the recovery window has not elapsed — or
+                when it is half-open and another caller already holds
+                the single probe slot.
         """
+        probe = False
         with self._lock:
-            state = self._current_state()
+            state = self._observe_state()
             if state == OPEN:
                 get_registry().inc(f"breaker.rejected.{self.name}")
                 raise CircuitOpenError(
                     f"circuit {self.name!r} is open "
                     f"({self._failures} consecutive failures)"
                 )
+            if state == HALF_OPEN:
+                if self._probe_in_flight:
+                    get_registry().inc(f"breaker.rejected.{self.name}")
+                    raise CircuitOpenError(
+                        f"circuit {self.name!r} is half-open and its "
+                        f"recovery probe is already in flight"
+                    )
+                self._probe_in_flight = True
+                probe = True
         try:
             result = fn(*args, **kwargs)
         except self.ignore:
+            self._release_probe(probe)
             raise
         except self.trip_on:
             self.record_failure()
+            raise
+        except BaseException:
+            self._release_probe(probe)
             raise
         self.record_success()
         return result

@@ -27,23 +27,41 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Timer"]
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Increments are lock-protected: the serving layer counts admissions
+    and rejections from many threads at once, and a bare ``value +=
+    amount`` is a read-modify-write that loses updates under
+    contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, Any]:
         """Exportable representation."""
         return {"type": "counter", "value": self.value}
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Counters cross process boundaries inside worker registries;
+        # the lock is process-local state.
+        return {"name": self.name, "value": self.value}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.name = state["name"]
+        self.value = state["value"]
+        self._lock = threading.Lock()
 
 
 class Gauge:
@@ -75,7 +93,8 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "sum", "min", "max",
-                 "_samples", "_stride", "_pending", "max_samples")
+                 "_samples", "_stride", "_pending", "max_samples",
+                 "_lock")
 
     def __init__(self, name: str, max_samples: int = 8192) -> None:
         self.name = name
@@ -87,23 +106,27 @@ class Histogram:
         self._stride = 1
         self._pending = 0
         self.max_samples = max_samples
+        # Serving latencies are observed from many request threads at
+        # once; an unguarded insort would corrupt the sorted buffer.
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample (thread-safe)."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._pending += 1
-        if self._pending >= self._stride:
-            self._pending = 0
-            insort(self._samples, value)
-            if len(self._samples) > self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._pending += 1
+            if self._pending >= self._stride:
+                self._pending = 0
+                insort(self._samples, value)
+                if len(self._samples) > self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
@@ -118,11 +141,12 @@ class Histogram:
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} out of [0, 100]")
-        if not self._samples:
-            return 0.0
-        rank = max(0, min(len(self._samples) - 1,
-                          round(q / 100.0 * (len(self._samples) - 1))))
-        return self._samples[rank]
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            rank = max(0, min(len(self._samples) - 1,
+                              round(q / 100.0 * (len(self._samples) - 1))))
+            return self._samples[rank]
 
     def summary(self) -> Dict[str, float]:
         """count/sum/mean/min/max plus p50/p95/p99."""
@@ -151,22 +175,37 @@ class Histogram:
         worker-process registries into the parent's after a
         process-sharded offline build.
         """
-        self.count += other.count
-        self.sum += other.sum
-        if other.min is not None:
-            self.min = (other.min if self.min is None
-                        else min(self.min, other.min))
-        if other.max is not None:
-            self.max = (other.max if self.max is None
-                        else max(self.max, other.max))
-        if other._samples:
-            merged = sorted(self._samples + other._samples)
-            self._stride = max(self._stride, other._stride)
-            while len(merged) > self.max_samples:
-                merged = merged[::2]
-                self._stride *= 2
-            self._samples = merged
-            self._pending = 0
+        with self._lock:
+            self.count += other.count
+            self.sum += other.sum
+            if other.min is not None:
+                self.min = (other.min if self.min is None
+                            else min(self.min, other.min))
+            if other.max is not None:
+                self.max = (other.max if self.max is None
+                            else max(self.max, other.max))
+            if other._samples:
+                merged = sorted(self._samples + other._samples)
+                self._stride = max(self._stride, other._stride)
+                while len(merged) > self.max_samples:
+                    merged = merged[::2]
+                    self._stride *= 2
+                self._samples = merged
+                self._pending = 0
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Histograms cross process boundaries inside worker registries;
+        # the lock is process-local state.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_lock"
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.Lock()
 
 
 class Timer:

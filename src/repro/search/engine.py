@@ -58,6 +58,7 @@ from typing import (
 )
 
 from repro.cache import LruCache
+from repro.concurrency import ReadWriteLock
 from repro.errors import SearchError
 from repro.faults import get_injector
 from repro.obs import get_registry
@@ -740,13 +741,19 @@ class SearchEngine:
         self.options = options or ExecutionOptions()
         self.epoch = 0
         self._cache = LruCache("engine.cache", cache_size)
+        # Searches run under the read side, index mutations + their
+        # epoch bump under the write side: a query's (epoch, index)
+        # view is a consistent snapshot, and incremental maintenance
+        # can never tear an in-flight query's posting traversal.
+        self._rw = ReadWriteLock()
 
     # -- indexing -----------------------------------------------------------
 
     def add(self, document: IndexableDocument) -> None:
         """Index one document."""
-        self.index.add(document)
-        self.epoch += 1
+        with self._rw.write():
+            self.index.add(document)
+            self.epoch += 1
 
     def add_all(self, documents: Iterable[IndexableDocument]) -> int:
         """Index many documents; returns the count."""
@@ -758,8 +765,20 @@ class SearchEngine:
 
     def remove(self, doc_id: str) -> None:
         """Remove a document from the index."""
-        self.index.remove(doc_id)
-        self.epoch += 1
+        with self._rw.write():
+            self.index.remove(doc_id)
+            self.epoch += 1
+
+    def bump_epoch(self) -> None:
+        """Advance the epoch without touching the index.
+
+        The sharded engine calls this on its children after a
+        corpus-global statistics change (any shard's mutation moves N
+        and avgdl for every shard), so per-child cached rankings keyed
+        on the child epoch can never survive a cross-shard mutation.
+        """
+        with self._rw.write():
+            self.epoch += 1
 
     def __len__(self) -> int:
         return len(self.index)
@@ -804,44 +823,52 @@ class SearchEngine:
         opts = options if options is not None else self.options
         metrics = get_registry()
         metrics.inc("engine.searches")
-        execution = _Execution(self, opts, doc_filter)
-        cache_key = self._cache_key(query, doc_filter, opts)
-        if cache_key is not None:
-            cached = self._cache.get(cache_key)
-            if cached is not None and cached.covers(limit):
-                if cached.limit is None or limit != cached.limit:
-                    metrics.inc("engine.cache.sliced")
-                return cached.slice(limit)
-        ranked = execution.ranked(query, limit)
-        metrics.observe("engine.candidates", execution.n_candidates)
-        metrics.observe(
-            "engine.candidates_after_filter", execution.n_after_filter
-        )
-        surfaces = _query_surfaces(query)
-        highlight_terms: Set[str] = set()
-        for surface in surfaces:
-            highlight_terms.update(
-                self.analyzer.analyze_query_terms(surface)
+        # The whole evaluation — epoch read, cache probe, posting
+        # traversal, snippet building, cache store — runs under the
+        # read side of the engine lock, so concurrent mutations can
+        # neither tear the traversal nor let a post-mutation epoch key
+        # a pre-mutation ranking.
+        with self._rw.read():
+            execution = _Execution(self, opts, doc_filter)
+            cache_key = self._cache_key(query, doc_filter, opts)
+            if cache_key is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None and cached.covers(limit):
+                    if cached.limit is None or limit != cached.limit:
+                        metrics.inc("engine.cache.sliced")
+                    return cached.slice(limit)
+            ranked = execution.ranked(query, limit)
+            metrics.observe("engine.candidates", execution.n_candidates)
+            metrics.observe(
+                "engine.candidates_after_filter", execution.n_after_filter
             )
-        hits = []
-        for doc_id, score in ranked:
-            document = self.index.document(doc_id)
-            hits.append(
-                SearchHit(
-                    doc_id=doc_id,
-                    score=score,
-                    document=document,
-                    snippet=_make_snippet(
-                        document.text,
-                        surfaces,
-                        highlight_terms,
-                        self.analyzer,
-                    ),
+            surfaces = _query_surfaces(query)
+            highlight_terms: Set[str] = set()
+            for surface in surfaces:
+                highlight_terms.update(
+                    self.analyzer.analyze_query_terms(surface)
                 )
-            )
-        if cache_key is not None:
-            self._cache.put(cache_key, _CachedRanking(tuple(hits), limit))
-        return list(hits)
+            hits = []
+            for doc_id, score in ranked:
+                document = self.index.document(doc_id)
+                hits.append(
+                    SearchHit(
+                        doc_id=doc_id,
+                        score=score,
+                        document=document,
+                        snippet=_make_snippet(
+                            document.text,
+                            surfaces,
+                            highlight_terms,
+                            self.analyzer,
+                        ),
+                    )
+                )
+            if cache_key is not None:
+                self._cache.put(
+                    cache_key, _CachedRanking(tuple(hits), limit)
+                )
+            return list(hits)
 
     def _cache_key(
         self,
@@ -884,14 +911,15 @@ class SearchEngine:
             query = parse_query(query)
         metrics = get_registry()
         metrics.inc("engine.counts")
-        cache_key = self._cache_key(query, doc_filter, self.options)
-        if cache_key is not None:
-            cached = self._cache.get(cache_key)
-            if cached is not None and cached.limit is None:
-                metrics.inc("engine.counts_from_cache")
-                return len(cached.hits)
-        execution = _Execution(self, self.options, doc_filter)
-        return execution.count_docs(query)
+        with self._rw.read():
+            cache_key = self._cache_key(query, doc_filter, self.options)
+            if cache_key is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None and cached.limit is None:
+                    metrics.inc("engine.counts_from_cache")
+                    return len(cached.hits)
+            execution = _Execution(self, self.options, doc_filter)
+            return execution.count_docs(query)
 
 
 def _query_surfaces(query: Query) -> List[str]:

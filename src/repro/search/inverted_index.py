@@ -403,6 +403,22 @@ class InvertedIndex:
         """Number of documents that have ``field``."""
         return len(self._field_lengths.get(field, {}))
 
+    def field_token_total(self, field: str) -> int:
+        """Exact total token count across all documents' ``field``.
+
+        Exposed (as an integer, not a precomputed ratio) so a sharded
+        deployment can reconstruct the corpus-global average length
+        bit-identically: summing per-shard integer totals and dividing
+        once yields the same float as the unsharded
+        :meth:`average_length`, whereas averaging per-shard floats would
+        not.
+        """
+        return self._field_token_totals.get(field, 0)
+
+    def token_total(self) -> int:
+        """Exact total token count across all fields of all documents."""
+        return self._token_total
+
     def vocabulary(self, field: Optional[str] = None) -> Set[str]:
         """All distinct index terms (optionally restricted to a field)."""
         if field is not None:

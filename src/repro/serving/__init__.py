@@ -1,0 +1,37 @@
+"""Concurrent serving layer: sharded fan-out plus a front door.
+
+The paper's production EIL served an entire community of practice from
+one deployment; this package is the repro's equivalent of that serving
+tier, in two layers:
+
+* :mod:`repro.serving.sharding` — partition the inverted index
+  (:class:`ShardedSearchEngine`) and the synopsis database
+  (:class:`ShardedOrganized`) into shards keyed by deal, execute
+  queries by fan-out + rank-merge, and keep rankings **bit-identical**
+  to the unsharded engine by scoring every shard with corpus-global
+  statistics.
+* :mod:`repro.serving.server` — :class:`EILServer`, a thread-pool
+  front door with a bounded admission queue, deadline-aware rejection,
+  load shedding (:class:`~repro.errors.ServerOverloadedError`) and a
+  circuit breaker, surfaced through ``serving.*`` metrics.
+
+Snapshot semantics: every engine mutation and its epoch bump run under
+the write side of a writer-preferring read/write lock, every query
+under the read side, so a query racing ``add_workbook`` /
+``remove_deal`` always observes *some* quiesced epoch — never a torn
+index.
+"""
+
+from repro.serving.server import EILServer
+from repro.serving.sharding import (
+    ShardedOrganized,
+    ShardedSearchEngine,
+    shard_for,
+)
+
+__all__ = [
+    "EILServer",
+    "ShardedOrganized",
+    "ShardedSearchEngine",
+    "shard_for",
+]

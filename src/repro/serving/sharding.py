@@ -1,0 +1,694 @@
+"""Deal-keyed sharding for the semantic index and the synopsis DB.
+
+Partitioning reuses the ``shard_key=deal_id`` convention of the
+process-sharded offline build: a deal's documents and synopsis rows all
+land in one shard (:func:`shard_for` is a stable content hash, so the
+assignment survives restarts and process boundaries).
+
+**Why sharded rankings are bit-identical to the unsharded engine.**
+BM25 (and TF-IDF) scores depend on per-document facts — tf and field
+length, which are shard-invariant — and three corpus-global statistics:
+corpus size N, document frequency df, and average field length avgdl.
+Each shard engine therefore scores with a wrapper scorer
+(:class:`_GlobalStatsScorer`) that substitutes the *global* view for
+the shard-local one: N and df are integer sums over shards (exact,
+since every document lives in exactly one shard) and avgdl is computed
+as ``sum(int token totals) / sum(int doc counts)`` — one float divide
+over exact integers, which is the same float the unsharded index
+produces.  With identical per-document scores, merging the per-shard
+rankings by the engine's own tie-break key ``(-score, doc_id)`` and
+slicing to the limit reproduces the unsharded ranking exactly; each
+shard's top-``limit`` covers the global top-``limit`` because shards
+partition the corpus.
+
+The synopsis side needs no score rewriting at all: every
+:class:`~repro.core.query_analyzer.SynopsisSearch` statement is keyed
+or grouped by ``deal_id``, so per-shard execution + row concatenation
+is exactly equivalent to the unsharded query (no group ever spans two
+shards).
+
+Concurrency: the sharded engine has a parent-level writer-preferring
+:class:`~repro.concurrency.ReadWriteLock`.  Queries fan out under the
+read side; mutations run under the write side and bump **every**
+child's epoch (any shard's mutation moves N/avgdl/df for all shards,
+so all per-shard cached rankings must go stale together).
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    TypeVar,
+    Union,
+)
+
+from repro.cache import LruCache
+from repro.concurrency import AtomicCounter, ReadWriteLock
+from repro.core.organized import OrganizedInformation
+from repro.errors import SearchError
+from repro.faults import get_injector
+from repro.obs import get_registry
+from repro.search.analyzer import Analyzer
+from repro.search.document import IndexableDocument, SearchHit
+from repro.search.engine import (
+    DocFilter,
+    ExecutionOptions,
+    SearchEngine,
+    _CachedRanking,
+)
+from repro.search.querylang import Query, parse_query
+from repro.search.scoring import Bm25Scorer, Scorer
+
+__all__ = ["shard_for", "ShardedSearchEngine", "ShardedOrganized"]
+
+_T = TypeVar("_T")
+
+
+def shard_for(key: Any, shards: int) -> int:
+    """Stable shard assignment for ``key`` (deal id, usually).
+
+    CRC32 of the key's string form — deterministic across processes and
+    runs (``hash()`` is salted for strings), cheap, and uniform enough
+    for the deal-count scales this system serves.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return zlib.crc32(str(key).encode("utf-8")) % shards
+
+
+class _ShardedIndexView:
+    """Corpus-global view over the shard indexes.
+
+    Plays two roles:
+
+    * the *statistics provider* for :class:`_GlobalStatsScorer` — N,
+      df, avgdl and per-document lookups computed over all shards, so
+      per-shard scoring uses corpus-global numbers;
+    * the engine-compatible ``.index`` attribute of
+      :class:`ShardedSearchEngine` — callers that walk
+      ``engine.index`` (the SIAPI scope filter, incremental
+      offboarding) keep working unmodified.
+
+    The statistics methods take no lock: they are called from inside a
+    fan-out query, which already holds the parent read lock (the lock
+    is not reentrant, so taking it again would deadlock against a
+    waiting writer).  The structure-walking methods (``doc_ids``,
+    ``docs_with_metadata``, ``document`` ...) are external entry points
+    and *do* take the read lock, so iterating them can never race a
+    mutation.
+    """
+
+    def __init__(self, parent: "ShardedSearchEngine") -> None:
+        self._parent = parent
+
+    @property
+    def _indexes(self):
+        return [shard.index for shard in self._parent.shards]
+
+    # -- corpus-global statistics (lock-free; see class docstring) --------
+
+    def __len__(self) -> int:
+        return sum(len(index) for index in self._indexes)
+
+    def df(self, term: str, field: Optional[str] = None) -> int:
+        """Global document frequency (sum of disjoint per-shard dfs)."""
+        return sum(index.df(term, field) for index in self._indexes)
+
+    def document_frequency(
+        self, term: str, field: Optional[str] = None
+    ) -> int:
+        """Exact global document frequency."""
+        return sum(
+            index.document_frequency(term, field)
+            for index in self._indexes
+        )
+
+    def average_length(self, field: Optional[str] = None) -> float:
+        """Global average field length, bit-identical to unsharded.
+
+        Integer token totals and document counts are summed across
+        shards first and divided once, so the result is the exact float
+        the unsharded index would compute.
+        """
+        if field is not None:
+            docs = sum(
+                index.field_document_count(field)
+                for index in self._indexes
+            )
+            if docs == 0:
+                return 0.0
+            total = sum(
+                index.field_token_total(field) for index in self._indexes
+            )
+            return total / docs
+        docs = len(self)
+        if docs == 0:
+            return 0.0
+        return sum(index.token_total() for index in self._indexes) / docs
+
+    def field_document_count(self, field: str) -> int:
+        """Global number of documents carrying ``field``."""
+        return sum(
+            index.field_document_count(field) for index in self._indexes
+        )
+
+    def field_token_total(self, field: str) -> int:
+        """Global token total of ``field`` (exact integer)."""
+        return sum(
+            index.field_token_total(field) for index in self._indexes
+        )
+
+    def token_total(self) -> int:
+        """Global token total across all fields (exact integer)."""
+        return sum(index.token_total() for index in self._indexes)
+
+    def term_frequency(
+        self, term: str, doc_id: str, field: Optional[str] = None
+    ) -> int:
+        """tf of ``term`` in ``doc_id`` — routed to the owning shard."""
+        shard = self._parent._shard_of_doc(doc_id)
+        if shard is None:
+            return 0
+        return shard.index.term_frequency(term, doc_id, field)
+
+    def field_length(self, field: str, doc_id: str) -> int:
+        """Field length of ``doc_id`` — routed to the owning shard."""
+        shard = self._parent._shard_of_doc(doc_id)
+        if shard is None:
+            return 0
+        return shard.index.field_length(field, doc_id)
+
+    def total_length(self, doc_id: str) -> int:
+        """Total length of ``doc_id`` — routed to the owning shard."""
+        shard = self._parent._shard_of_doc(doc_id)
+        if shard is None:
+            return 0
+        return shard.index.total_length(doc_id)
+
+    # -- structure-walking entry points (read-locked) ----------------------
+
+    @property
+    def doc_ids(self) -> Set[str]:
+        """Ids of all indexed documents (consistent snapshot)."""
+        with self._parent._rw.read():
+            ids: Set[str] = set()
+            for index in self._indexes:
+                ids |= index.doc_ids
+            return ids
+
+    @property
+    def fields(self) -> List[str]:
+        """All field names seen by any shard."""
+        with self._parent._rw.read():
+            names: Set[str] = set()
+            for index in self._indexes:
+                names.update(index.fields)
+            return sorted(names)
+
+    def document(self, doc_id: str) -> IndexableDocument:
+        """Fetch a stored document from its owning shard."""
+        with self._parent._rw.read():
+            shard = self._parent._shard_of_doc(doc_id)
+            if shard is None:
+                raise SearchError(f"document {doc_id!r} not indexed")
+            return shard.index.document(doc_id)
+
+    def has_document(self, doc_id: str) -> bool:
+        """True if any shard holds ``doc_id``."""
+        with self._parent._rw.read():
+            return self._parent._shard_of_doc(doc_id) is not None
+
+    def docs_with_metadata(
+        self, key: str, values: Iterable[Any]
+    ) -> Set[str]:
+        """Union of the per-shard metadata matches (shards disjoint)."""
+        values = list(values)
+        with self._parent._rw.read():
+            matches: Set[str] = set()
+            for index in self._indexes:
+                matches |= index.docs_with_metadata(key, values)
+            return matches
+
+    def matching_docs(
+        self, term: str, field: Optional[str] = None
+    ) -> Set[str]:
+        """Union of the per-shard term matches."""
+        with self._parent._rw.read():
+            matches: Set[str] = set()
+            for index in self._indexes:
+                matches |= index.matching_docs(term, field)
+            return matches
+
+    def vocabulary(self, field: Optional[str] = None) -> Set[str]:
+        """Union of the per-shard vocabularies."""
+        with self._parent._rw.read():
+            terms: Set[str] = set()
+            for index in self._indexes:
+                terms |= index.vocabulary(field)
+            return terms
+
+
+class _GlobalStatsScorer:
+    """Wraps a shard engine's scorer to score with global statistics.
+
+    The shard engine hands its *local* index and df to the scorer; this
+    wrapper swaps in the :class:`_ShardedIndexView` (global N, avgdl,
+    routed per-document lookups) and replaces the local df with the
+    global one, so every shard computes exactly the score the unsharded
+    engine would.
+
+    Capability passthrough: ``score_postings`` / ``upper_bound`` are
+    bound onto the *instance* only when the base scorer has them, so
+    the engine's ``hasattr`` capability checks (bulk scoring, MaxScore)
+    resolve exactly as they would against the base scorer.  The
+    shard-local ``max_tf`` the engine passes to ``upper_bound`` remains
+    a valid bound for that shard's own postings.
+    """
+
+    def __init__(self, base: Scorer, view: _ShardedIndexView) -> None:
+        self._base = base
+        self._view = view
+        if hasattr(base, "score_postings"):
+            self.score_postings = self._score_postings
+        if hasattr(base, "upper_bound"):
+            self.upper_bound = self._upper_bound
+
+    def _global_df(self, term: str, field: Optional[str]) -> int:
+        if field is not None:
+            return self._view.df(term, field)
+        return self._view.document_frequency(term)
+
+    def score(
+        self,
+        index,
+        term: str,
+        doc_id: str,
+        field: Optional[str] = None,
+        df: Optional[int] = None,
+    ) -> float:
+        if df is not None:
+            df = self._global_df(term, field)
+        return self._base.score(self._view, term, doc_id, field, df=df)
+
+    def _score_postings(
+        self,
+        index,
+        term: str,
+        field: Optional[str],
+        tfs: Sequence[int],
+        lengths: Sequence[int],
+        df: int,
+    ) -> List[float]:
+        return self._base.score_postings(
+            self._view, term, field, tfs, lengths,
+            df=self._global_df(term, field),
+        )
+
+    def _upper_bound(
+        self,
+        index,
+        term: str,
+        field: Optional[str],
+        df: int,
+        max_tf: Optional[int] = None,
+    ) -> float:
+        return self._base.upper_bound(
+            self._view, term, field, self._global_df(term, field),
+            max_tf=max_tf,
+        )
+
+    def clear_caches(self) -> None:
+        """Passthrough to the base scorer's cache reset, if any."""
+        clear = getattr(self._base, "clear_caches", None)
+        if clear is not None:
+            clear()
+
+
+class ShardedSearchEngine:
+    """A drop-in :class:`~repro.search.engine.SearchEngine` over shards.
+
+    Documents route to shards by their ``shard_key`` metadata (deal id
+    by default, the process-sharded build's convention); queries fan
+    out to every shard and merge by the engine's tie-break ordering.
+    Rankings are bit-identical to one unsharded engine over the same
+    corpus (see the module docstring for why).
+
+    Args:
+        shards: Number of index partitions (>= 1).
+        analyzer, scorer, field_boosts, cache_size, options: As for
+            :class:`~repro.search.engine.SearchEngine`; every child
+            shares the analyzer and (via the global-stats wrapper) the
+            scorer, so idf caches warm once for the whole corpus.
+        shard_key: Metadata key that routes a document to its shard;
+            documents without it route by their own ``doc_id``.
+        fanout_workers: ``0`` executes the fan-out serially on the
+            calling thread (the default; cheapest for small shard
+            counts under the GIL), ``> 0`` uses a shared thread pool.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        analyzer: Optional[Analyzer] = None,
+        scorer: Optional[Scorer] = None,
+        field_boosts: Optional[Mapping[str, float]] = None,
+        cache_size: int = 256,
+        options: Optional[ExecutionOptions] = None,
+        shard_key: str = "deal_id",
+        fanout_workers: int = 0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.analyzer = analyzer or Analyzer()
+        self.scorer: Scorer = scorer or Bm25Scorer()
+        self.field_boosts = dict(field_boosts or {})
+        self.options = options or ExecutionOptions()
+        self.shard_key = shard_key
+        self._rw = ReadWriteLock()
+        self._epoch = AtomicCounter()
+        self.index = _ShardedIndexView(self)
+        wrapped = _GlobalStatsScorer(self.scorer, self.index)
+        # Result caching happens at the parent (one logical query, one
+        # hit/miss, no fan-out on a hit); the children run uncached so
+        # cache metrics keep their unsharded per-query semantics.
+        self.shards: List[SearchEngine] = [
+            SearchEngine(
+                analyzer=self.analyzer,
+                scorer=wrapped,
+                field_boosts=self.field_boosts,
+                cache_size=0,
+                options=self.options,
+            )
+            for _ in range(shards)
+        ]
+        self._cache = LruCache("engine.cache", cache_size)
+        self._doc_shard: Dict[str, SearchEngine] = {}
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=min(fanout_workers, shards),
+                thread_name_prefix="shard-fanout",
+            )
+            if fanout_workers > 0
+            else None
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Parent mutation epoch; bumped by every ``add``/``remove``."""
+        return self._epoch.value
+
+    def _shard_of_doc(self, doc_id: str) -> Optional[SearchEngine]:
+        return self._doc_shard.get(doc_id)
+
+    def _route(self, document: IndexableDocument) -> SearchEngine:
+        key = document.metadata.get(self.shard_key, document.doc_id)
+        return self.shards[shard_for(key, len(self.shards))]
+
+    def _bump_children(self) -> None:
+        # Any mutation moves N/avgdl/df for EVERY shard, so every
+        # child's cached rankings must go stale, not just the mutated
+        # shard's.  Caller holds the parent write lock.
+        for shard in self.shards:
+            shard.bump_epoch()
+        self._epoch.increment()
+
+    # -- indexing -----------------------------------------------------------
+
+    def add(self, document: IndexableDocument) -> None:
+        """Index one document into its deal's shard."""
+        with self._rw.write():
+            shard = self._route(document)
+            shard.index.add(document)
+            self._doc_shard[document.doc_id] = shard
+            self._bump_children()
+
+    def add_all(self, documents: Iterable[IndexableDocument]) -> int:
+        """Index many documents; returns the count."""
+        count = 0
+        for document in documents:
+            self.add(document)
+            count += 1
+        return count
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document from its owning shard."""
+        with self._rw.write():
+            shard = self._doc_shard.pop(doc_id, None)
+            if shard is None:
+                raise SearchError(f"document {doc_id!r} not indexed")
+            shard.index.remove(doc_id)
+            self._bump_children()
+
+    def bump_epoch(self) -> None:
+        """Advance every epoch without touching any index."""
+        with self._rw.write():
+            self._bump_children()
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- search --------------------------------------------------------------
+
+    def _map_shards(
+        self, fn: Callable[[SearchEngine], _T]
+    ) -> List[_T]:
+        if self._pool is None:
+            return [fn(shard) for shard in self.shards]
+        return list(self._pool.map(fn, self.shards))
+
+    def search(
+        self,
+        query: Union[str, Query],
+        limit: Optional[int] = None,
+        doc_filter: DocFilter = None,
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[SearchHit]:
+        """Fan the query out to every shard and rank-merge.
+
+        Each shard returns its own top ``limit`` (scored with global
+        statistics); since the shards partition the corpus, the merged
+        ``(-score, doc_id)`` order sliced to ``limit`` is exactly the
+        unsharded ranking.
+        """
+        get_injector().check("index")
+        if isinstance(query, str):
+            query = parse_query(query)
+        opts = options if options is not None else self.options
+        metrics = get_registry()
+        with self._rw.read():
+            cache_key = self._cache_key(query, doc_filter, opts)
+            if cache_key is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None and cached.covers(limit):
+                    if cached.limit is None or limit != cached.limit:
+                        metrics.inc("engine.cache.sliced")
+                    return cached.slice(limit)
+            per_shard = self._map_shards(
+                lambda shard: shard.search(
+                    query, limit, doc_filter, options
+                )
+            )
+            merged: List[SearchHit] = []
+            for hits in per_shard:
+                merged.extend(hits)
+            merged.sort(key=lambda hit: (-hit.score, hit.doc_id))
+            if limit is not None:
+                merged = merged[:limit]
+            if cache_key is not None:
+                self._cache.put(
+                    cache_key, _CachedRanking(tuple(merged), limit)
+                )
+            return list(merged)
+
+    def _cache_key(
+        self,
+        query: Query,
+        doc_filter: DocFilter,
+        options: ExecutionOptions,
+    ):
+        """Parent-level cache key, mirroring the unsharded engine's.
+
+        The parent epoch stands in for the index epoch — every
+        mutation on any shard bumps it, so a cached merged ranking can
+        never outlive the corpus state it was computed against.
+        """
+        from collections.abc import Set as AbstractSet
+
+        if doc_filter is None:
+            filter_key = None
+        elif isinstance(doc_filter, AbstractSet):
+            filter_key = frozenset(doc_filter)
+        else:
+            return None  # predicates have no stable identity
+        try:
+            hash(query)
+        except TypeError:  # pragma: no cover - unhashable custom node
+            return None
+        return (self.epoch, query, filter_key, options)
+
+    def count(
+        self, query: Union[str, Query], doc_filter: DocFilter = None
+    ) -> int:
+        """Total matching documents (per-shard counts are disjoint)."""
+        get_injector().check("index")
+        if isinstance(query, str):
+            query = parse_query(query)
+        metrics = get_registry()
+        with self._rw.read():
+            cache_key = self._cache_key(query, doc_filter, self.options)
+            if cache_key is not None:
+                cached = self._cache.get(cache_key)
+                if cached is not None and cached.limit is None:
+                    metrics.inc("engine.counts_from_cache")
+                    return len(cached.hits)
+            return sum(
+                self._map_shards(
+                    lambda shard: shard.count(query, doc_filter)
+                )
+            )
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (no-op for serial fan-out)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+
+class _FanoutResult:
+    """Concatenated result rows from a fanned-out SQL statement."""
+
+    def __init__(self, results: Sequence[Any]) -> None:
+        self._results = list(results)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
+        for result in self._results:
+            rows.extend(result.to_dicts())
+        return rows
+
+    def column(self, name: str) -> List[Any]:
+        values: List[Any] = []
+        for result in self._results:
+            values.extend(result.column(name))
+        return values
+
+
+class _FanoutDb:
+    """Broadcasts SQL to every shard database and concatenates rows.
+
+    Exactly equivalent to one database for the synopsis workload
+    because every statement the online side issues is keyed or grouped
+    by ``deal_id`` and a deal's rows live in exactly one shard: no
+    SELECT group ever spans shards, and a broadcast DELETE only finds
+    rows in the owning shard.
+    """
+
+    def __init__(self, dbs: Sequence[Any]) -> None:
+        self._dbs = list(dbs)
+
+    def execute(self, sql: str, params: Optional[Sequence] = None):
+        return _FanoutResult(
+            [db.execute(sql, params) for db in self._dbs]
+        )
+
+    def query_one(self, sql: str, params: Optional[Sequence] = None):
+        for db in self._dbs:
+            row = db.query_one(sql, params)
+            if row is not None:
+                return row
+        return None
+
+    @property
+    def table_names(self):
+        return self._dbs[0].table_names
+
+
+class ShardedOrganized:
+    """Deal-sharded organized information, API-compatible fan-out.
+
+    Holds one :class:`~repro.core.organized.OrganizedInformation` per
+    shard; writes route by deal id, deal-scoped reads route to the
+    owning shard, and the ``db`` attribute is a fan-out facade so the
+    deal-keyed SQL of :class:`~repro.core.query_analyzer
+    .SynopsisSearch` (and the broadcast DELETEs of incremental
+    offboarding) runs unmodified.
+    """
+
+    def __init__(self, shards: int = 4) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = [OrganizedInformation() for _ in range(shards)]
+        self.db = _FanoutDb([shard.db for shard in self.shards])
+
+    def _shard(self, deal_id: str) -> OrganizedInformation:
+        return self.shards[shard_for(deal_id, len(self.shards))]
+
+    # -- population ---------------------------------------------------------
+
+    def store_deal_context(
+        self, deal_id: str, context: Mapping[str, str]
+    ) -> None:
+        """Route the deal's overview row to its shard."""
+        self._shard(deal_id).store_deal_context(deal_id, context)
+
+    def store_scopes(self, deal_id: str, entries) -> None:
+        """Route the deal's scope rows to its shard."""
+        self._shard(deal_id).store_scopes(deal_id, entries)
+
+    def store_contacts(self, deal_id: str, contacts) -> None:
+        """Route the deal's contact rows to its shard."""
+        self._shard(deal_id).store_contacts(deal_id, contacts)
+
+    def store_win_strategies(self, deal_id: str, strategies) -> None:
+        """Route the deal's win-strategy rows to its shard."""
+        self._shard(deal_id).store_win_strategies(deal_id, strategies)
+
+    def store_technologies(self, deal_id: str, technologies) -> None:
+        """Route the deal's technology rows to its shard."""
+        self._shard(deal_id).store_technologies(deal_id, technologies)
+
+    def store_client_references(self, deal_id: str, references) -> None:
+        """Route the deal's client-reference rows to its shard."""
+        self._shard(deal_id).store_client_references(deal_id, references)
+
+    # -- reads ---------------------------------------------------------------
+
+    def deal_ids(self) -> List[str]:
+        """All populated deal ids across shards, sorted."""
+        ids: List[str] = []
+        for shard in self.shards:
+            ids.extend(shard.deal_ids())
+        return sorted(ids)
+
+    def deal_row(self, deal_id: str):
+        """One deal's overview row from its owning shard."""
+        return self._shard(deal_id).deal_row(deal_id)
+
+    def scopes_of(self, deal_id: str):
+        """Ordered scope rows from the owning shard."""
+        return self._shard(deal_id).scopes_of(deal_id)
+
+    def contacts_of(self, deal_id: str):
+        """Contact rows from the owning shard."""
+        return self._shard(deal_id).contacts_of(deal_id)
+
+    def strategies_of(self, deal_id: str):
+        """Win-strategy texts from the owning shard."""
+        return self._shard(deal_id).strategies_of(deal_id)
+
+    def technologies_of(self, deal_id: str):
+        """Technology rows from the owning shard."""
+        return self._shard(deal_id).technologies_of(deal_id)
+
+    def references_of(self, deal_id: str):
+        """Client-reference texts from the owning shard."""
+        return self._shard(deal_id).references_of(deal_id)

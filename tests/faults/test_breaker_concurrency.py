@@ -1,0 +1,222 @@
+"""Multi-threaded stress tests for the circuit breaker.
+
+The three bugs this suite pins down (all fixed in the same PR):
+
+* half-open must admit exactly **one** probe under concurrent load —
+  a thundering herd of recovered callers must not stampede the
+  substrate;
+* ``breaker.open`` counts open *transitions* — an outage observed by
+  many threads at once must read as one trip, not one per thread;
+* the ``breaker.state.<name>`` gauge must export the half-open value
+  (1), so dashboards see 2 → 1 → 0 / 2 → 1 → 2 walks.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import CircuitOpenError, InjectedFaultError
+from repro.faults import CircuitBreaker
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _fail():
+    raise InjectedFaultError("substrate down")
+
+
+def _run_all(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestSingleFlightProbe:
+    def test_half_open_admits_exactly_one_probe(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", failure_threshold=1, recovery_seconds=5.0, clock=clock
+        )
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+        n = 8
+        barrier = threading.Barrier(n)
+        executed = []
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def probe():
+            # Hold the probe slot until every other caller has been
+            # rejected, so the single-flight window is actually
+            # contended rather than racing past itself.
+            executed.append(threading.get_ident())
+            deadline = 200
+            while deadline:
+                with outcomes_lock:
+                    if len(outcomes) == n - 1:
+                        return "ok"
+                deadline -= 1
+                threading.Event().wait(0.01)
+            raise AssertionError("other callers never drained")
+
+        def worker():
+            barrier.wait()
+            try:
+                result = breaker.call(probe)
+            except CircuitOpenError:
+                with outcomes_lock:
+                    outcomes.append("rejected")
+            else:
+                with outcomes_lock:
+                    outcomes.append(result)
+
+        _run_all([worker] * n)
+        assert len(executed) == 1
+        assert sorted(outcomes) == ["ok"] + ["rejected"] * (n - 1)
+        assert breaker.state == CLOSED
+        assert registry.counters["breaker.rejected.t"].value == n - 1
+
+    def test_failed_probe_frees_the_slot_for_the_next_caller(
+        self, registry
+    ):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", failure_threshold=1, recovery_seconds=5.0, clock=clock
+        )
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        clock.advance(5.0)
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)  # probe fails -> re-open
+        clock.advance(5.0)
+        assert breaker.call(lambda: "ok") == "ok"  # slot free again
+        assert breaker.state == CLOSED
+
+
+class TestTripCounting:
+    def test_concurrent_failures_count_one_trip(self, registry):
+        breaker = CircuitBreaker(
+            "t", failure_threshold=4, clock=FakeClock()
+        )
+        n = 16
+        barrier = threading.Barrier(n)
+
+        def worker():
+            barrier.wait()
+            try:
+                breaker.call(_fail)
+            except (InjectedFaultError, CircuitOpenError):
+                pass
+
+        _run_all([worker] * n)
+        assert breaker.state == OPEN
+        assert registry.counters["breaker.open"].value == 1
+        assert registry.counters["breaker.open.t"].value == 1
+
+    def test_reopen_after_probe_storm_counts_one_more_trip(
+        self, registry
+    ):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", failure_threshold=1, recovery_seconds=5.0, clock=clock
+        )
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert registry.counters["breaker.open"].value == 1
+        clock.advance(5.0)
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def worker():
+            barrier.wait()
+            try:
+                breaker.call(_fail)
+            except (InjectedFaultError, CircuitOpenError):
+                pass
+
+        _run_all([worker] * n)
+        assert breaker.state == OPEN
+        # One probe failed, everyone else was rejected: exactly one
+        # new open transition regardless of thread count.
+        assert registry.counters["breaker.open"].value == 2
+        assert registry.counters["breaker.open.t"].value == 2
+
+
+class TestStateGauge:
+    def test_gauge_walks_2_1_2_and_2_1_0(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", failure_threshold=1, recovery_seconds=5.0, clock=clock
+        )
+        gauge = lambda: registry.gauges["breaker.state.t"].value
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert gauge() == 2
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert gauge() == 1  # half-open is exported, not skipped
+        with pytest.raises(InjectedFaultError):
+            breaker.call(_fail)
+        assert gauge() == 2
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert gauge() == 1
+        assert breaker.call(lambda: "ok") == "ok"
+        assert gauge() == 0
+
+
+class TestMixedStorm:
+    def test_counters_stay_consistent_under_mixed_load(self, registry):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "t", failure_threshold=3, recovery_seconds=0.0, clock=clock
+        )
+        n, per_thread = 8, 200
+
+        def worker(offset):
+            for i in range(per_thread):
+                try:
+                    # Bursty failures (runs of 10) so the threshold is
+                    # actually crossed and the breaker flaps open /
+                    # half-open / closed throughout the storm.
+                    if (offset + i // 10) % 2 == 0:
+                        breaker.call(_fail)
+                    else:
+                        breaker.call(lambda: "ok")
+                except (InjectedFaultError, CircuitOpenError):
+                    pass
+
+        _run_all(
+            [lambda o=o: worker(o) for o in range(n)]
+        )
+        assert breaker.state in (CLOSED, HALF_OPEN, OPEN)
+        # Every open transition is counted exactly once in both the
+        # global and the per-breaker counter.
+        assert registry.counters["breaker.open"].value >= 1
+        assert (
+            registry.counters["breaker.open"].value
+            == registry.counters["breaker.open.t"].value
+        )
+        assert registry.gauges["breaker.state.t"].value in (0, 1, 2)

@@ -1,0 +1,197 @@
+"""Unit tests for the serving front door (repro.serving.server).
+
+Uses a gate-controlled fake system so admission, queueing, shedding,
+deadline rejection and breaker integration can be driven
+deterministically — no sleeps, no real corpus.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFaultError,
+    ServerOverloadedError,
+)
+from repro.faults import CircuitBreaker
+from repro.serving import EILServer
+
+
+@pytest.fixture
+def registry():
+    with obs.use_registry() as fresh:
+        yield fresh
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            return self.now
+
+    def advance(self, seconds):
+        with self._lock:
+            self.now += seconds
+
+
+class GatedSystem:
+    """A fake EIL whose requests block until the gate opens."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.gate.set()  # open by default
+        self.started = threading.Semaphore(0)
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def search(self, form, user=None, limit=None):
+        with self._lock:
+            self.calls += 1
+        self.started.release()
+        assert self.gate.wait(10), "gate never opened"
+        return ("search", form)
+
+    def keyword_search(self, query, limit=None):
+        with self._lock:
+            self.calls += 1
+        self.started.release()
+        assert self.gate.wait(10), "gate never opened"
+        return ("keyword", query)
+
+
+class TestPassThrough:
+    def test_search_returns_the_result(self, registry):
+        with EILServer(GatedSystem()) as server:
+            assert server.search("q") == ("search", "q")
+        assert registry.counters["serving.completed"].value == 1
+        assert registry.counters["serving.admitted"].value == 1
+
+    def test_keyword_search_returns_the_result(self, registry):
+        with EILServer(GatedSystem()) as server:
+            assert server.keyword_search("q") == ("keyword", "q")
+
+    def test_validates_sizing(self, registry):
+        with pytest.raises(ValueError):
+            EILServer(GatedSystem(), max_concurrency=0)
+        with pytest.raises(ValueError):
+            EILServer(GatedSystem(), queue_depth=-1)
+
+    def test_exceptions_propagate_and_count(self, registry):
+        class Exploding:
+            def search(self, *args, **kwargs):
+                raise KeyError("boom")
+
+        with EILServer(Exploding()) as server:
+            with pytest.raises(KeyError):
+                server.search("q")
+        assert registry.counters["serving.errors"].value == 1
+
+
+class TestAdmissionControl:
+    def test_sheds_past_capacity(self, registry):
+        system = GatedSystem()
+        system.gate.clear()  # hold every admitted request in flight
+        server = EILServer(system, max_concurrency=1, queue_depth=1)
+        try:
+            first = server.submit_search("a")
+            assert system.started.acquire(timeout=5)  # executing
+            second = server.submit_search("b")  # queued
+            with pytest.raises(ServerOverloadedError):
+                server.submit_search("c")  # 1 + 1 slots are taken
+            assert registry.counters["serving.shed"].value == 1
+            assert registry.counters["serving.admitted"].value == 2
+            system.gate.set()
+            assert first.result(timeout=5) == ("search", "a")
+            assert second.result(timeout=5) == ("search", "b")
+        finally:
+            system.gate.set()
+            server.shutdown()
+        assert registry.counters["serving.completed"].value == 2
+        assert registry.gauges["serving.inflight"].value == 0
+        assert registry.gauges["serving.queue_depth"].value == 0
+
+    def test_slot_frees_after_completion(self, registry):
+        system = GatedSystem()
+        server = EILServer(system, max_concurrency=1, queue_depth=0)
+        try:
+            # Sequential requests reuse the single slot freely.
+            for i in range(5):
+                assert server.search(i) == ("search", i)
+        finally:
+            server.shutdown()
+        assert registry.counters["serving.admitted"].value == 5
+        assert "serving.shed" not in registry.counters
+
+    def test_shutdown_rejects_new_requests(self, registry):
+        server = EILServer(GatedSystem())
+        server.shutdown()
+        with pytest.raises(RuntimeError):
+            server.search("q")
+
+
+class TestDeadlines:
+    def test_expired_in_queue_is_rejected_unstarted(self, registry):
+        clock = FakeClock()
+        system = GatedSystem()
+        system.gate.clear()
+        server = EILServer(
+            system, max_concurrency=1, queue_depth=1, clock=clock
+        )
+        try:
+            blocker = server.submit_search("a")
+            assert system.started.acquire(timeout=5)
+            queued = server.submit_search("b", deadline_seconds=5.0)
+            clock.advance(10.0)  # the queued request ages out
+            system.gate.set()
+            assert blocker.result(timeout=5) == ("search", "a")
+            with pytest.raises(DeadlineExceededError):
+                queued.result(timeout=5)
+        finally:
+            system.gate.set()
+            server.shutdown()
+        assert registry.counters["serving.rejected.deadline"].value == 1
+        # The aged-out request never reached the system: one worker
+        # spent zero effort on an unmeetable deadline.
+        assert system.calls == 1
+
+    def test_fresh_deadline_executes(self, registry):
+        clock = FakeClock()
+        with EILServer(GatedSystem(), clock=clock) as server:
+            assert server.search("a", deadline_seconds=5.0) == (
+                "search", "a"
+            )
+        assert "serving.rejected.deadline" not in registry.counters
+
+
+class TestBreakerIntegration:
+    def test_persistent_outage_trips_to_fast_fail(self, registry):
+        class Failing:
+            calls = 0
+
+            def search(self, *args, **kwargs):
+                Failing.calls += 1
+                raise InjectedFaultError("substrate down")
+
+        breaker = CircuitBreaker("serving", failure_threshold=2)
+        with EILServer(Failing(), breaker=breaker) as server:
+            for _ in range(2):
+                with pytest.raises(InjectedFaultError):
+                    server.search("q")
+            with pytest.raises(CircuitOpenError):
+                server.search("q")  # open: rejected without a call
+        assert Failing.calls == 2
+        assert registry.counters["breaker.open.serving"].value == 1
+        assert registry.counters["serving.errors"].value == 3
+
+    def test_latency_histogram_observes_every_request(self, registry):
+        with EILServer(GatedSystem()) as server:
+            for i in range(3):
+                server.search(i)
+        assert registry.histograms["serving.latency"].count == 3
+        assert registry.histograms["serving.queue_wait"].count == 3

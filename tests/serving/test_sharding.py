@@ -1,0 +1,267 @@
+"""Equivalence tests: sharded fan-out must rank bit-identically.
+
+The whole point of :class:`~repro.serving.ShardedSearchEngine` is that
+partitioning is invisible to relevance: every (doc_id, score) pair —
+including tie-breaks — must equal the unsharded engine's, at any shard
+count, for every query shape, before and after mutations.
+"""
+
+import random
+
+import pytest
+
+from repro import CorpusConfig, CorpusGenerator, EILSystem, User
+from repro.core.metaqueries import (
+    role_capacity_query,
+    scope_query,
+    service_keyword_query,
+    worked_with_query,
+)
+from repro.errors import SearchError
+from repro.search import IndexableDocument, SearchEngine
+from repro.serving import ShardedSearchEngine, shard_for
+
+SALES = User("u", frozenset({"sales"}))
+
+WORDS = [
+    "storage", "network", "migration", "replication", "services",
+    "desktop", "server", "cloud", "backup", "security", "transition",
+    "helpdesk",
+]
+
+QUERIES = [
+    "storage",
+    "storage network",
+    "storage OR backup OR cloud",
+    "services NOT cloud",
+    "(storage OR network) migration",
+    "title:storage",
+]
+
+
+def _make_docs(n=24, deals=5):
+    rng = random.Random(7)
+    docs = []
+    for i in range(n):
+        docs.append(
+            IndexableDocument(
+                f"doc{i:02d}",
+                {
+                    "title": " ".join(
+                        rng.choice(WORDS) for _ in range(3)
+                    ),
+                    "body": " ".join(
+                        rng.choice(WORDS) for _ in range(30)
+                    ),
+                },
+                {"deal_id": f"d{i % deals}", "doc_type": "scope"},
+            )
+        )
+    return docs
+
+
+def _pairs(hits):
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+def _assert_equivalent(reference, sharded, limit=None, doc_filter=None):
+    for query in QUERIES:
+        assert _pairs(
+            sharded.search(query, limit, doc_filter)
+        ) == _pairs(
+            reference.search(query, limit, doc_filter)
+        ), query
+        assert sharded.count(query, doc_filter) == reference.count(
+            query, doc_filter
+        ), query
+
+
+class TestShardFor:
+    def test_stable_and_in_range(self):
+        for key in ("d1", "deal-xyz", 42):
+            assert shard_for(key, 4) == shard_for(key, 4)
+            assert 0 <= shard_for(key, 4) < 4
+
+    def test_validates_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_for("d1", 0)
+        with pytest.raises(ValueError):
+            ShardedSearchEngine(shards=0)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_rankings_bit_identical(self, shards):
+        docs = _make_docs()
+        reference = SearchEngine()
+        reference.add_all(docs)
+        sharded = ShardedSearchEngine(shards=shards)
+        sharded.add_all(docs)
+        _assert_equivalent(reference, sharded)
+        for limit in (1, 3, 10, 100):
+            _assert_equivalent(reference, sharded, limit=limit)
+
+    def test_doc_filter_equivalence(self):
+        docs = _make_docs()
+        reference = SearchEngine()
+        reference.add_all(docs)
+        sharded = ShardedSearchEngine(shards=3)
+        sharded.add_all(docs)
+        keep = {doc.doc_id for doc in docs[::2]}
+        _assert_equivalent(reference, sharded, doc_filter=keep)
+
+    def test_equivalence_survives_removals(self):
+        docs = _make_docs()
+        reference = SearchEngine()
+        reference.add_all(docs)
+        sharded = ShardedSearchEngine(shards=3)
+        sharded.add_all(docs)
+        for doc in docs[::3]:
+            reference.remove(doc.doc_id)
+            sharded.remove(doc.doc_id)
+            _assert_equivalent(reference, sharded, limit=5)
+
+    def test_parallel_fanout_matches_serial(self):
+        docs = _make_docs()
+        serial = ShardedSearchEngine(shards=3)
+        serial.add_all(docs)
+        parallel = ShardedSearchEngine(shards=3, fanout_workers=3)
+        parallel.add_all(docs)
+        try:
+            for query in QUERIES:
+                assert _pairs(parallel.search(query)) == _pairs(
+                    serial.search(query)
+                )
+        finally:
+            parallel.close()
+
+    def test_deal_documents_share_a_shard(self):
+        sharded = ShardedSearchEngine(shards=4)
+        sharded.add_all(_make_docs())
+        owners = {}
+        for doc_id, shard in sharded._doc_shard.items():
+            deal = sharded.index.document(doc_id).metadata["deal_id"]
+            assert owners.setdefault(deal, shard) is shard
+
+    def test_remove_unknown_doc_raises(self):
+        sharded = ShardedSearchEngine(shards=2)
+        with pytest.raises(SearchError):
+            sharded.remove("ghost")
+
+
+class TestIndexView:
+    @pytest.fixture
+    def pair(self):
+        docs = _make_docs()
+        reference = SearchEngine()
+        reference.add_all(docs)
+        sharded = ShardedSearchEngine(shards=3)
+        sharded.add_all(docs)
+        return reference, sharded
+
+    def test_global_statistics_match(self, pair):
+        reference, sharded = pair
+        assert len(sharded.index) == len(reference.index)
+        for field in (None, "title", "body"):
+            assert sharded.index.average_length(
+                field
+            ) == reference.index.average_length(field)
+        for term in WORDS:
+            assert sharded.index.df(term, "body") == reference.index.df(
+                term, "body"
+            )
+            assert sharded.index.document_frequency(
+                term
+            ) == reference.index.document_frequency(term)
+
+    def test_structure_walks_match(self, pair):
+        reference, sharded = pair
+        assert sharded.index.doc_ids == reference.index.doc_ids
+        assert sharded.index.fields == sorted(reference.index.fields)
+        assert sharded.index.docs_with_metadata(
+            "deal_id", ["d1", "d2"]
+        ) == reference.index.docs_with_metadata("deal_id", ["d1", "d2"])
+        assert sharded.index.has_document("doc00")
+        assert not sharded.index.has_document("ghost")
+        doc = sharded.index.document("doc03")
+        assert doc.doc_id == "doc03"
+
+    def test_epoch_bumps_on_every_mutation(self, pair):
+        _, sharded = pair
+        before = sharded.epoch
+        sharded.remove("doc00")
+        assert sharded.epoch == before + 1
+        assert all(
+            shard.epoch >= before + 1 for shard in sharded.shards
+        )
+
+
+class TestSystemEquivalence:
+    @pytest.fixture(scope="class")
+    def world(self):
+        corpus = CorpusGenerator(
+            CorpusConfig(n_deals=4, docs_per_deal=14)
+        ).generate()
+        # shards=1 pinned explicitly: the baseline must stay unsharded
+        # even when $REPRO_SHARDS defaults the rest of the suite.
+        unsharded = EILSystem.build(corpus, shards=1)
+        sharded = EILSystem.build(corpus, shards=3)
+        return corpus, unsharded, sharded
+
+    def _forms(self, corpus):
+        member = corpus.deals[0].team[0]
+        return [
+            scope_query("End User Services"),
+            worked_with_query(member.person.full_name),
+            role_capacity_query("cross tower TSA"),
+            service_keyword_query(
+                "Storage Management Services", "data replication"
+            ),
+        ]
+
+    def test_sharded_system_uses_sharded_engine(self, world):
+        _, unsharded, sharded = world
+        assert isinstance(sharded.engine, ShardedSearchEngine)
+        assert isinstance(unsharded.engine, SearchEngine)
+
+    def test_form_queries_identical(self, world):
+        corpus, unsharded, sharded = world
+        for form in self._forms(corpus):
+            left = unsharded.search(form, SALES)
+            right = sharded.search(form, SALES)
+            assert [a.deal_id for a in left.activities] == [
+                a.deal_id for a in right.activities
+            ]
+            assert [a.score for a in left.activities] == [
+                a.score for a in right.activities
+            ]
+
+    def test_keyword_search_identical(self, world):
+        _, unsharded, sharded = world
+        for query in ("end user services", "storage migration",
+                      "replication"):
+            assert _pairs(
+                sharded.keyword_search(query, limit=10)
+            ) == _pairs(unsharded.keyword_search(query, limit=10))
+
+    def test_offboard_then_identical(self, world):
+        corpus, _, _ = world
+        # Fresh systems: this test mutates, the class fixture is shared.
+        unsharded = EILSystem.build(corpus, shards=1)
+        sharded = EILSystem.build(corpus, shards=3)
+        victim = sorted(unsharded.deal_ids())[0]
+        removed_left = unsharded.remove_deal(victim)
+        removed_right = sharded.remove_deal(victim)
+        assert removed_left == removed_right
+        for query in ("end user services", "storage migration"):
+            assert _pairs(
+                sharded.keyword_search(query, limit=10)
+            ) == _pairs(unsharded.keyword_search(query, limit=10))
+        for form in self._forms(corpus):
+            assert [
+                a.deal_id
+                for a in unsharded.search(form, SALES).activities
+            ] == [
+                a.deal_id
+                for a in sharded.search(form, SALES).activities
+            ]
