@@ -14,6 +14,14 @@ Commands:
   drive the query mix through :class:`~repro.serving.EILServer`
   (admission control, deadlines, shedding) and the ``serving.*``
   metrics snapshot is printed at the end.
+* ``persist`` — run the offline pipeline once and save the whole
+  system (segment index + synopsis database + manifest) to a
+  directory for cold starts.
+
+``stats`` and ``serve`` accept ``--index-dir`` to cold-start from a
+``persist`` directory instead of rebuilding — the corpus flags must
+match the ones the index was persisted with (the synthetic corpus
+still supplies the taxonomy and workbook collection).
 
 The CLI always works on the synthetic corpus (seeded, so results are
 reproducible); flags control scale and the query.
@@ -141,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the raw metrics/trace JSON instead of "
                             "the text report")
+    stats.add_argument("--index-dir", default=None,
+                       help="cold-start from a 'persist' directory "
+                            "instead of rebuilding the index")
 
     serve = commands.add_parser(
         "serve",
@@ -161,6 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "none)")
     serve.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the serving metrics as JSON")
+    serve.add_argument("--index-dir", default=None,
+                       help="cold-start from a 'persist' directory "
+                            "instead of rebuilding the index")
+
+    persist = commands.add_parser(
+        "persist",
+        help="run the offline pipeline and save the whole system "
+             "(segment index + synopsis DB + manifest) for cold starts",
+    )
+    persist.add_argument("output", help="target directory")
 
     return parser
 
@@ -175,6 +196,11 @@ def _make_system(args: argparse.Namespace) -> tuple:
             CorpusConfig(seed=args.seed, n_deals=args.deals,
                          docs_per_deal=args.docs)
         ).generate()
+    index_dir = getattr(args, "index_dir", None)
+    if index_dir:
+        # Cold start: segments + synopsis DB come off disk; the shard
+        # count is whatever the index was persisted with.
+        return corpus, EILSystem.load(index_dir, corpus)
     return corpus, EILSystem.build(corpus, workers=args.workers,
                                    executor=args.executor,
                                    shards=args.shards)
@@ -255,6 +281,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
     report = eil.build_report
     print(f"indexed {report.documents_indexed} documents, populated "
           f"{report.deals_populated} deals; snapshot -> {args.output}")
+    return 0
+
+
+def _cmd_persist(args: argparse.Namespace) -> int:
+    _, eil = _make_system(args)
+    stats = eil.save_index(args.output)
+    print(f"persisted {stats['docs']} documents in "
+          f"{stats['segments']} segment(s), "
+          f"{stats['bytes_per_doc']:.0f} bytes/doc -> {args.output}")
     return 0
 
 
@@ -396,6 +431,7 @@ _COMMANDS = {
     "synopsis": _cmd_synopsis,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "persist": _cmd_persist,
 }
 
 

@@ -25,8 +25,9 @@ Typical use::
 
 from __future__ import annotations
 
+import json
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from repro.annotators.classifier import NaiveBayesClassifier
@@ -38,7 +39,9 @@ from repro.core.query_analyzer import FormQuery
 from repro.core.search import BusinessActivityDrivenSearch, EilResults
 from repro.corpus.generator import Corpus
 from repro.corpus.taxonomy import ServiceTaxonomy
+from repro.db.persistence import dump_database, load_database
 from repro.docmodel.repository import WorkbookCollection
+from repro.errors import StorageError
 from repro.faults import RetryPolicy
 from repro.intranet.directory import PersonnelDirectory
 from repro.obs import get_registry, get_tracer
@@ -46,6 +49,7 @@ from repro.search.document import SearchHit
 from repro.search.engine import SearchEngine
 from repro.search.siapi import SiapiService
 from repro.security.access import AccessController, User
+from repro.storage.atomic import atomic_write_text
 
 __all__ = ["EILSystem", "BuildReport"]
 
@@ -102,6 +106,14 @@ class BuildReport:
 
 class EILSystem:
     """One deployed EIL instance over a workbook collection."""
+
+    #: File names / identity of the on-disk layout written by
+    #: :meth:`save_index` and read back by :meth:`load`.
+    EIL_MANIFEST = "eil-manifest.json"
+    _EIL_FORMAT = "repro-eil-index"
+    _EIL_VERSION = 1
+    _INDEX_SUBDIR = "index"
+    _SYNOPSIS_FILE = "synopsis.json"
 
     def __init__(
         self,
@@ -300,6 +312,172 @@ class EILSystem:
         )
         return self.build_report
 
+    # -- persistence -------------------------------------------------------------
+
+    def save_index(self, directory: str) -> Dict[str, object]:
+        """Persist the built system under ``directory`` for cold start.
+
+        Layout::
+
+            directory/
+              eil-manifest.json   # format + version + shards + build report
+              index/              # segment store (MANIFEST.json or, when
+                                  # sharded, SHARDS.json + shard-NN/)
+              synopsis.json       # organized-information database snapshot
+
+        Every file lands atomically (temp + fsync + rename), so a crash
+        mid-save leaves any previous snapshot loadable.  Returns the
+        engine's storage statistics (``segments``, ``bytes_per_doc``,
+        ...).
+        """
+        self._require_search()  # only a built system is worth persisting
+        os.makedirs(directory, exist_ok=True)
+        with get_tracer().span("persist.save"):
+            stats = self.engine.save_index(
+                os.path.join(directory, self._INDEX_SUBDIR)
+            )
+            dump_database(
+                self.organized.db,
+                os.path.join(directory, self._SYNOPSIS_FILE),
+            )
+            manifest = {
+                "format": self._EIL_FORMAT,
+                "version": self._EIL_VERSION,
+                "shards": self.shards,
+                "repositories": self._repositories,
+                "build_report": (
+                    asdict(self.build_report)
+                    if self.build_report is not None
+                    else None
+                ),
+            }
+            atomic_write_text(
+                os.path.join(directory, self.EIL_MANIFEST),
+                json.dumps(manifest, sort_keys=True, indent=2),
+            )
+        return stats
+
+    @classmethod
+    def load(
+        cls,
+        directory: str,
+        corpus: Corpus,
+        access: Optional[AccessController] = None,
+        scope_min_weight: float = 4.0,
+        strategy_classifier: Optional[NaiveBayesClassifier] = None,
+        field_boosts: Optional[Dict[str, float]] = None,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
+        query_cache_size: int = 128,
+        engine_cache_size: int = 256,
+        deadline_seconds: Optional[float] = None,
+        max_failure_ratio: float = 1.0,
+        retry: Optional[RetryPolicy] = None,
+        shards: Optional[int] = None,
+        verify: bool = True,
+    ) -> "EILSystem":
+        """Cold-start a ready-to-query system from :meth:`save_index`.
+
+        Skips the offline pipeline entirely: the segment index and the
+        organized-information database are read back from disk, so load
+        time is independent of analysis cost.  Queries, synopses and
+        incremental maintenance (``add_workbook`` / ``remove_deal``)
+        behave exactly as on the freshly built system.
+
+        The shard count comes from the saved manifest — the segments
+        were partitioned at save time, so ``REPRO_SHARDS`` is
+        deliberately ignored here.  Passing an explicit ``shards`` that
+        disagrees with the manifest raises
+        :class:`~repro.errors.StorageError`.
+
+        Args:
+            directory: A directory written by :meth:`save_index`.
+            corpus: The corpus the index was built from (supplies the
+                taxonomy, workbook collection and personnel directory,
+                which are not persisted).
+            verify: Verify segment checksums against the manifest while
+                loading (disable only for trusted local restarts).
+        """
+        manifest_path = os.path.join(directory, cls.EIL_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read EIL manifest {manifest_path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"invalid EIL manifest {manifest_path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != cls._EIL_FORMAT
+        ):
+            raise StorageError(
+                f"{manifest_path} is not an EIL index manifest"
+            )
+        if manifest.get("version") != cls._EIL_VERSION:
+            raise StorageError(
+                f"unsupported EIL index version "
+                f"{manifest.get('version')!r} in {manifest_path}"
+            )
+        saved_shards = int(manifest.get("shards", 1))
+        if shards is not None and shards != saved_shards:
+            raise StorageError(
+                f"index at {directory} was saved with {saved_shards} "
+                f"shard(s) but {shards} requested; load with the saved "
+                f"count (the partitioning is fixed at save time)"
+            )
+        system = cls(
+            taxonomy=corpus.taxonomy,
+            collection=corpus.collection,
+            directory=corpus.directory,
+            access=access,
+            scope_min_weight=scope_min_weight,
+            strategy_classifier=strategy_classifier,
+            field_boosts=field_boosts,
+            workers=workers,
+            executor=executor,
+            query_cache_size=query_cache_size,
+            engine_cache_size=engine_cache_size,
+            deadline_seconds=deadline_seconds,
+            max_failure_ratio=max_failure_ratio,
+            retry=retry,
+            shards=saved_shards,
+        )
+        with get_tracer().span("persist.load"):
+            system.engine.load_index(
+                os.path.join(directory, cls._INDEX_SUBDIR), verify=verify
+            )
+            system.organized = OrganizedInformation(
+                db=load_database(
+                    os.path.join(directory, cls._SYNOPSIS_FILE)
+                )
+            )
+        system.synopsis_builder = SynopsisBuilder(system.organized)
+        system._repositories = dict(manifest.get("repositories") or {})
+        system._search = BusinessActivityDrivenSearch(
+            organized=system.organized,
+            taxonomy=system.taxonomy,
+            siapi=system.siapi,
+            access=system.access,
+            repositories=system._repositories,
+            cache_size=query_cache_size,
+            retry=system._retry,
+        )
+        report = manifest.get("build_report")
+        if report is not None:
+            system.build_report = BuildReport(**report)
+            get_registry().set_gauge(
+                "eil.deals_populated", system.build_report.deals_populated
+            )
+            get_registry().set_gauge(
+                "eil.documents_quarantined",
+                system.build_report.documents_quarantined,
+            )
+        return system
+
     # -- online API -------------------------------------------------------------
 
     def search(
@@ -418,11 +596,15 @@ class EILSystem:
         """
         had_synopsis = self.organized.deal_row(deal_id) is not None
         removed = 0
-        for doc_id in list(self.engine.index.doc_ids):
-            document = self.engine.index.document(doc_id)
-            if document.metadata.get("deal_id") == deal_id:
-                self.engine.remove(doc_id)
-                removed += 1
+        # The metadata value index finds the deal's documents directly —
+        # no full doc_ids scan, which matters once the index is
+        # segment-backed at 100k+ docs (a scan would page every
+        # docstore record off disk).
+        for doc_id in sorted(
+            self.engine.index.docs_with_metadata("deal_id", [deal_id])
+        ):
+            self.engine.remove(doc_id)
+            removed += 1
         # Children first, then the deal row (FK RESTRICT order).
         for table in ("deal_scopes", "contacts", "win_strategies",
                       "technologies", "client_references"):

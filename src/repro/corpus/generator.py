@@ -17,7 +17,7 @@ profile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.corpus.deals import DealGenerator, DealSpec
 from repro.corpus.documents_gen import MIN_DOCS_PER_DEAL, WorkbookFactory
@@ -148,3 +148,31 @@ class CorpusGenerator:
             threads=threads,
             directory=directory,
         )
+
+    def iter_workbooks(self) -> Iterator[object]:
+        """Stream the engagement workbooks one deal at a time.
+
+        For 100k+ document builds the full :class:`Corpus` (every
+        workbook's documents resident at once) dominates memory.  This
+        yields each workbook as it is generated so the caller can
+        index it and drop it — peak memory is one workbook, not the
+        corpus.
+
+        Determinism contract: the yielded sequence is bit-identical to
+        ``generate().collection`` for the same config — the deal specs
+        and the factory's seed derivation (``seed + 1``) are exactly
+        those of :meth:`generate`.  Only the workbooks stream; callers
+        needing deal ground truth or the email threads use
+        :meth:`generate`.
+        """
+        config = self.config
+        taxonomy = build_default_taxonomy()
+        deal_generator = DealGenerator(
+            seed=config.seed,
+            taxonomy=taxonomy,
+            staff_pool_size=config.staff_pool_size,
+        )
+        deals = deal_generator.generate(config.n_deals)
+        factory = WorkbookFactory(taxonomy, seed=config.seed + 1)
+        for deal in deals:
+            yield factory.build_workbook(deal, config.docs_per_deal)

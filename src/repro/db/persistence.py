@@ -7,11 +7,27 @@ indexes, rows) to a JSON file and restoring it without re-running the
 pipeline.  Dates are serialized as ISO strings and restored through the
 normal coercion path, so a loaded database is indistinguishable from
 the original.
+
+Durability hardening (format version 2):
+
+* :func:`dump_database` writes atomically (temp file + fsync +
+  rename via :mod:`repro.storage.atomic`) so a crash mid-dump never
+  corrupts the last good snapshot;
+* the header carries a blake2b checksum over the canonical table
+  payload, verified on load;
+* every load failure — foreign file, truncated JSON, checksum
+  mismatch, unsupported version, malformed structure — raises a typed
+  :class:`~repro.errors.DatabaseError`, never a bare ``KeyError`` or
+  ``JSONDecodeError``.
+
+Version-1 snapshots (no checksum) still load, so pre-hardening
+snapshots survive an upgrade.
 """
 
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
 import pathlib
 from typing import Any, Dict, List, Union
@@ -21,11 +37,26 @@ from repro.db.index import SortedIndex
 from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.types import DataType
 from repro.errors import DatabaseError
+from repro.storage.atomic import atomic_write_text
 
 __all__ = ["dump_database", "load_database", "dumps_database",
            "loads_database"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _tables_checksum(tables: List[Dict[str, Any]]) -> str:
+    """Checksum over the canonical JSON form of the table payload.
+
+    Canonical (sorted-keys) re-serialization makes the digest stable
+    across a dump → load → dump round-trip: the payload is pure JSON
+    primitives, so re-encoding is byte-reproducible.
+    """
+    canonical = json.dumps(tables, sort_keys=True)
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 def _encode_value(value: Any) -> Any:
@@ -84,23 +115,61 @@ def dumps_database(db: Database) -> str:
                 ],
             }
         )
-    return json.dumps({"version": _FORMAT_VERSION, "tables": tables})
+    return json.dumps(
+        {
+            "version": _FORMAT_VERSION,
+            "checksum": _tables_checksum(tables),
+            "tables": tables,
+        }
+    )
 
 
 def loads_database(payload: str) -> Database:
-    """Rebuild a Database from :func:`dumps_database` output."""
+    """Rebuild a Database from :func:`dumps_database` output.
+
+    Raises :class:`~repro.errors.DatabaseError` for every failure
+    mode: non-JSON input, a JSON document that is not a snapshot
+    (foreign file), an unsupported version, a checksum mismatch
+    (corruption / truncation), or a structurally malformed snapshot.
+    """
     try:
         document = json.loads(payload)
     except json.JSONDecodeError as exc:
         raise DatabaseError(f"invalid database snapshot: {exc}") from exc
-    if document.get("version") != _FORMAT_VERSION:
+    if (
+        not isinstance(document, dict)
+        or "version" not in document
+        or not isinstance(document.get("tables"), list)
+    ):
         raise DatabaseError(
-            f"unsupported snapshot version {document.get('version')!r}"
+            "not a database snapshot (foreign or partial file)"
         )
+    version = document["version"]
+    if version not in _SUPPORTED_VERSIONS:
+        raise DatabaseError(f"unsupported snapshot version {version!r}")
+    if version >= 2:
+        stored = document.get("checksum")
+        if stored is None:
+            raise DatabaseError("snapshot header is missing its checksum")
+        if stored != _tables_checksum(document["tables"]):
+            raise DatabaseError(
+                "snapshot failed checksum verification (corrupt or "
+                "truncated file)"
+            )
+    try:
+        return _load_tables(document["tables"])
+    except DatabaseError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise DatabaseError(
+            f"malformed database snapshot: {exc!r}"
+        ) from exc
+
+
+def _load_tables(tables: List[Dict[str, Any]]) -> Database:
     db = Database()
     # Two passes: create all tables first (FKs may reference any order —
     # but create_table validates parents exist, so order parent-first).
-    tables = document["tables"]
     pending = list(tables)
     created = set()
     creation_order: List[Dict[str, Any]] = []
@@ -176,10 +245,24 @@ def _create_table(db: Database, spec: Dict[str, Any]) -> None:
 
 
 def dump_database(db: Database, path: Union[str, pathlib.Path]) -> None:
-    """Write ``db`` to ``path`` as JSON."""
-    pathlib.Path(path).write_text(dumps_database(db))
+    """Write ``db`` to ``path`` as JSON, atomically.
+
+    The snapshot lands via temp-file + fsync + rename, so a crash mid
+    write leaves any previous snapshot at ``path`` intact.
+    """
+    atomic_write_text(str(path), dumps_database(db))
 
 
 def load_database(path: Union[str, pathlib.Path]) -> Database:
-    """Load a database snapshot from ``path``."""
-    return loads_database(pathlib.Path(path).read_text())
+    """Load a database snapshot from ``path``.
+
+    Raises :class:`~repro.errors.DatabaseError` if the file is missing,
+    unreadable, or fails :func:`loads_database` validation.
+    """
+    try:
+        payload = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise DatabaseError(
+            f"cannot read database snapshot {path}: {exc}"
+        ) from exc
+    return loads_database(payload)

@@ -19,6 +19,7 @@ __all__ = [
     "TransactionError",
     "SearchError",
     "QuerySyntaxError",
+    "StorageError",
     "AnnotatorError",
     "TypeSystemError",
     "AccessDeniedError",
@@ -78,6 +79,15 @@ class SearchError(ReproError):
 
 class QuerySyntaxError(SearchError):
     """The search query string could not be parsed."""
+
+
+class StorageError(ReproError):
+    """A persistent index segment or manifest is corrupt or unreadable.
+
+    Raised by :mod:`repro.storage` on foreign files (bad magic), format
+    version mismatches, checksum failures, and truncated segments —
+    never a bare ``KeyError``/``struct.error`` leaking from the decoder.
+    """
 
 
 # --- annotation ---------------------------------------------------------

@@ -724,6 +724,13 @@ class SearchEngine:
             per request.
         options: Default :class:`ExecutionOptions`; individual searches
             may override via the ``options`` argument.
+        index: A prebuilt index to serve instead of a fresh in-memory
+            one — typically a :class:`~repro.storage.store
+            .SegmentBackedIndex` (loaded from disk or configured with a
+            flush threshold).  Must share the engine's analyzer; when
+            ``analyzer`` is omitted the index's own analyzer is
+            adopted.  Any object implementing the ``InvertedIndex``
+            API works.
     """
 
     def __init__(
@@ -733,11 +740,16 @@ class SearchEngine:
         field_boosts: Optional[Mapping[str, float]] = None,
         cache_size: int = 256,
         options: Optional[ExecutionOptions] = None,
+        index=None,
     ) -> None:
+        if analyzer is None and index is not None:
+            analyzer = getattr(index, "analyzer", None)
         self.analyzer = analyzer or Analyzer()
         self.scorer: Scorer = scorer or Bm25Scorer()
         self.field_boosts = dict(field_boosts or {})
-        self.index = InvertedIndex(self.analyzer)
+        self.index = (
+            index if index is not None else InvertedIndex(self.analyzer)
+        )
         self.options = options or ExecutionOptions()
         self.epoch = 0
         self._cache = LruCache("engine.cache", cache_size)
@@ -779,6 +791,54 @@ class SearchEngine:
         """
         with self._rw.write():
             self.epoch += 1
+
+    # -- persistence ---------------------------------------------------------
+
+    def replace_index(self, index) -> None:
+        """Swap the engine onto a different index under the write lock.
+
+        The epoch bump retires every cached ranking computed against
+        the old index; in-flight queries finish against the snapshot
+        they started with (they hold the read side).
+        """
+        with self._rw.write():
+            self.index = index
+            self.epoch += 1
+
+    def save_index(self, directory: str) -> Dict[str, object]:
+        """Persist the index as delta-varint segments under ``directory``.
+
+        A segment-backed index flushes and writes its manifest; a plain
+        in-memory index is encoded through a transient
+        :class:`~repro.storage.store.SegmentBackedIndex` without being
+        modified (encoding only reads).  Returns the storage stats of
+        the written state.  Runs under the write lock so a concurrent
+        mutation can never tear the on-disk snapshot.
+        """
+        from repro.storage.store import SegmentBackedIndex
+
+        with self._rw.write():
+            index = self.index
+            if isinstance(index, SegmentBackedIndex):
+                return index.save(directory)
+            return SegmentBackedIndex.from_inverted(index).save(directory)
+
+    def load_index(self, directory: str, **load_options):
+        """Cold-start the engine from segments saved by ``save_index``.
+
+        Returns the loaded :class:`~repro.storage.store
+        .SegmentBackedIndex`, already installed via
+        :meth:`replace_index`.  Extra keyword arguments
+        (``memtable_limit``, ``merge_fanout``, ``verify``) pass through
+        to :meth:`SegmentBackedIndex.load`.
+        """
+        from repro.storage.store import SegmentBackedIndex
+
+        store = SegmentBackedIndex.load(
+            directory, analyzer=self.analyzer, **load_options
+        )
+        self.replace_index(store)
+        return store
 
     def __len__(self) -> int:
         return len(self.index)

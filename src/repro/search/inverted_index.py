@@ -376,6 +376,28 @@ class InvertedIndex:
         """Token count of ``field`` in ``doc_id`` (0 if absent)."""
         return self._field_lengths.get(field, {}).get(doc_id, 0)
 
+    def field_lengths(self, field: str) -> Dict[str, int]:
+        """doc_id -> token count for every document *having* ``field``.
+
+        Presence-aware (a zero-length field instance still appears),
+        which is what the segment encoder needs: ``field_length`` alone
+        cannot distinguish "absent" from "present but empty", and
+        ``field_document_count`` must survive a persistence round-trip.
+        """
+        return dict(self._field_lengths.get(field, {}))
+
+    def terms_of(self, doc_id: str) -> Dict[str, Set[str]]:
+        """field -> distinct analyzed terms of one indexed document.
+
+        Exposes the removal reverse map so layered indexes (the segment
+        store's memtable) can invalidate exactly the merged posting
+        caches an ``add`` touched, without re-analyzing the document.
+        """
+        return {
+            field: set(terms)
+            for field, terms in self._doc_terms.get(doc_id, {}).items()
+        }
+
     def total_length(self, doc_id: str) -> int:
         """Token count across all fields of ``doc_id``."""
         return sum(

@@ -562,6 +562,111 @@ class ShardedSearchEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 
+    # -- persistence ---------------------------------------------------------
+
+    SHARDS_MANIFEST = "SHARDS.json"
+    _SHARDS_FORMAT = "repro-sharded-index"
+    _SHARDS_VERSION = 1
+
+    def save_index(self, directory: str) -> Dict[str, Any]:
+        """Persist every shard's index under ``directory``.
+
+        Layout: ``SHARDS.json`` (format marker + shard count) plus one
+        ``shard-NN/`` segment directory per shard.  Runs under the
+        parent write lock so the per-shard snapshots are mutually
+        consistent.  Returns combined storage stats.
+        """
+        import json as _json
+        import os as _os
+
+        from repro.storage.atomic import atomic_write_text
+
+        directory = _os.path.abspath(directory)
+        _os.makedirs(directory, exist_ok=True)
+        with self._rw.write():
+            combined: Dict[str, Any] = {}
+            for position, shard in enumerate(self.shards):
+                stats = shard.save_index(
+                    _os.path.join(directory, f"shard-{position:02d}")
+                )
+                for key, value in stats.items():
+                    combined[key] = combined.get(key, 0) + value
+            if combined.get("docs"):
+                combined["bytes_per_doc"] = (
+                    combined["size_bytes"] / combined["docs"]
+                )
+            atomic_write_text(
+                _os.path.join(directory, self.SHARDS_MANIFEST),
+                _json.dumps(
+                    {
+                        "format": self._SHARDS_FORMAT,
+                        "version": self._SHARDS_VERSION,
+                        "shards": len(self.shards),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+            return combined
+
+    def load_index(self, directory: str, **load_options) -> None:
+        """Cold-start every shard from a ``save_index`` directory.
+
+        The on-disk shard count must match this engine's — documents
+        were partitioned by :func:`shard_for` at save time, and loading
+        them into a different partition count would misroute every
+        query fan-out.
+        """
+        import json as _json
+        import os as _os
+
+        from repro.errors import StorageError
+
+        manifest_path = _os.path.join(directory, self.SHARDS_MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                body = _json.load(handle)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read shard manifest {manifest_path}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise StorageError(
+                f"shard manifest {manifest_path} is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(body, dict)
+            or body.get("format") != self._SHARDS_FORMAT
+        ):
+            raise StorageError(
+                f"{manifest_path} is not a sharded index manifest"
+            )
+        if body.get("version") != self._SHARDS_VERSION:
+            raise StorageError(
+                f"shard manifest version {body.get('version')!r} "
+                f"unsupported (expected {self._SHARDS_VERSION})"
+            )
+        saved_shards = body.get("shards")
+        if saved_shards != len(self.shards):
+            raise StorageError(
+                f"index was saved with {saved_shards} shards but this "
+                f"engine has {len(self.shards)} — shard counts must "
+                f"match (set REPRO_SHARDS/--shards accordingly)"
+            )
+        with self._rw.write():
+            for position, shard in enumerate(self.shards):
+                shard.load_index(
+                    _os.path.join(directory, f"shard-{position:02d}"),
+                    **load_options,
+                )
+            self._doc_shard = {
+                doc_id: shard
+                for shard in self.shards
+                for doc_id in shard.index.doc_ids
+            }
+            self._bump_children()
+
 
 class _FanoutResult:
     """Concatenated result rows from a fanned-out SQL statement."""

@@ -1,0 +1,65 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A snapshot or manifest write that dies mid-``write()`` must never
+destroy the last good copy.  The only portable way to get that on POSIX
+is the classic dance: write the full payload to a temporary file *in
+the same directory* (rename across filesystems is not atomic), flush
+and ``fsync`` the file so the bytes are durable before the name flips,
+``os.replace`` onto the final path (atomic within a directory), then
+fsync the directory so the rename itself survives a power cut.
+
+Used by :mod:`repro.db.persistence` for synopsis snapshots and by
+:mod:`repro.storage.store` for segment files and manifests.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    On any failure the target file is untouched and the temp file is
+    removed; a reader can never observe a partial write under the
+    final name.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (see bytes variant)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry; best-effort on filesystems without it."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)

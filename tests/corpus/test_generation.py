@@ -215,3 +215,29 @@ class TestCorpusGenerator:
         assert config.n_deals == 23
         # ~15,000 documents as in Section 4.
         assert 14500 <= config.n_deals * config.docs_per_deal <= 15500
+
+    def test_streaming_matches_full_generation(self):
+        """iter_workbooks() yields exactly generate().collection."""
+        config = CorpusConfig(n_deals=4, docs_per_deal=14)
+        full = list(CorpusGenerator(config).generate().collection)
+        streamed = list(CorpusGenerator(config).iter_workbooks())
+        assert len(streamed) == len(full)
+        for built, lazy in zip(full, streamed):
+            assert lazy.deal_id == built.deal_id
+            assert lazy.name == built.name
+            full_docs = list(built.documents())
+            lazy_docs = list(lazy.documents())
+            assert len(lazy_docs) == len(full_docs)
+            for a, b in zip(full_docs, lazy_docs):
+                assert (a.doc_id, a.title) == (b.doc_id, b.title)
+                assert type(a) is type(b)
+                assert a.__dict__ == b.__dict__
+
+    def test_streaming_is_lazy(self):
+        """The generator yields without building the whole corpus."""
+        iterator = CorpusGenerator(
+            CorpusConfig(n_deals=50, docs_per_deal=12)
+        ).iter_workbooks()
+        first = next(iterator)
+        assert first.deal_id
+        iterator.close()

@@ -104,6 +104,81 @@ class TestErrors:
         with pytest.raises(DatabaseError, match="version"):
             loads_database('{"version": 99, "tables": []}')
 
+    def test_foreign_json_rejected(self):
+        for payload in ('{"something": "else"}', "[1, 2, 3]", '"text"',
+                        "42", "null"):
+            with pytest.raises(DatabaseError, match="snapshot"):
+                loads_database(payload)
+
+    def test_checksum_mismatch_rejected(self):
+        import json
+
+        document = json.loads(dumps_database(make_db()))
+        document["tables"][0]["rows"][0][1] = "tampered"
+        with pytest.raises(DatabaseError, match="checksum"):
+            loads_database(json.dumps(document))
+
+    def test_missing_checksum_rejected(self):
+        import json
+
+        document = json.loads(dumps_database(make_db()))
+        del document["checksum"]
+        with pytest.raises(DatabaseError, match="checksum"):
+            loads_database(json.dumps(document))
+
+    def test_malformed_structure_raises_typed_error(self):
+        # Structurally broken specs must never leak KeyError/TypeError.
+        payloads = [
+            '{"version": 1, "tables": [{}]}',
+            '{"version": 1, "tables": [{"name": "t", "columns": 3, '
+            '"primary_key": [], "unique": [], "foreign_keys": [], '
+            '"indexes": [], "rows": []}]}',
+            '{"version": 1, "tables": [{"name": "t", "columns": '
+            '[{"name": "c", "dtype": "NOPE", "nullable": true, '
+            '"default": null}], "primary_key": [], "unique": [], '
+            '"foreign_keys": [], "indexes": [], "rows": []}]}',
+        ]
+        for payload in payloads:
+            with pytest.raises(DatabaseError):
+                loads_database(payload)
+
+    def test_version1_snapshot_still_loads(self):
+        import json
+
+        document = json.loads(dumps_database(make_db()))
+        del document["checksum"]
+        document["version"] = 1
+        restored = loads_database(json.dumps(document))
+        assert restored.execute("SELECT COUNT(*) FROM deals").scalar() == 2
+
+    def test_load_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(DatabaseError, match="cannot read"):
+            load_database(tmp_path / "absent.json")
+
+
+class TestAtomicity:
+    def test_dump_replaces_atomically(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        dump_database(make_db(), path)
+        first = path.read_text()
+        db = make_db()
+        db.execute("INSERT INTO deals (deal_id, name) VALUES ('d9', 'Z')")
+        dump_database(db, path)
+        assert path.read_text() != first
+        assert load_database(path).execute(
+            "SELECT COUNT(*) FROM deals"
+        ).scalar() == 3
+        # No temp-file droppings next to the snapshot.
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
+    def test_partial_file_never_parses(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        dump_database(make_db(), path)
+        truncated = path.read_text()[:-40]
+        path.write_text(truncated)
+        with pytest.raises(DatabaseError):
+            load_database(path)
+
 
 class TestProperties:
     @given(

@@ -254,3 +254,112 @@ def test_exhaustive_options_all_disabled():
         (options.bulk_scoring, options.df_ordering,
          options.filter_pushdown, options.maxscore, options.top_k_heap)
     )
+
+
+# -- segment-backed layouts ---------------------------------------------------
+#
+# The persistent store promises the same invisibility as the execution
+# optimizations: whatever LSM shape the index is in — pure memtable,
+# freshly flushed, many tiered segments, tombstoned, compacted, or
+# reloaded from disk — rankings are bit-identical to the in-memory
+# engine over the same live documents.
+
+SEGMENT_LAYOUTS = ["memtable", "flushed", "tiered", "tombstoned",
+                   "compacted"]
+
+
+def make_segmented_engine(corpus, layout, removed=(), **kwargs):
+    from repro.storage import SegmentBackedIndex
+
+    kwargs.setdefault("cache_size", 0)
+    memtable_limit = 4096 if layout == "memtable" else 16
+    index = SegmentBackedIndex(memtable_limit=memtable_limit,
+                               merge_fanout=3)
+    engine = SearchEngine(index=index, **kwargs)
+    engine.add_all(corpus)
+    if layout == "flushed":
+        index.flush()
+    for doc_id in removed:
+        engine.remove(doc_id)
+    if layout == "compacted":
+        index.compact()
+    return engine
+
+
+def segment_reference_engine(corpus, removed=(), **kwargs):
+    engine = make_engine(corpus, **kwargs)
+    for doc_id in removed:
+        engine.remove(doc_id)
+    return engine
+
+
+@pytest.mark.parametrize("layout", SEGMENT_LAYOUTS)
+def test_segment_layouts_match_in_memory_rankings(corpus, layout):
+    removed = ()
+    if layout in ("tombstoned", "compacted"):
+        rng = random.Random(17)
+        removed = tuple(
+            doc.doc_id for doc in corpus if rng.random() < 0.3
+        )
+    reference = segment_reference_engine(corpus, removed)
+    segmented = make_segmented_engine(corpus, layout, removed)
+    if layout == "tiered":
+        assert len(segmented.index.segments) > 1
+    for query in QUERIES:
+        parsed = parse_query(query)
+        for limit in (None, 1, 5):
+            for options in (ExecutionOptions(),
+                            ExecutionOptions.exhaustive()):
+                assert ranking(segmented, parsed, limit, None, options) == (
+                    ranking(reference, parsed, limit, None, options)
+                ), f"layout={layout} query={query!r} limit={limit}"
+
+
+def test_segment_layout_matches_after_readds(corpus):
+    rng = random.Random(23)
+    removed = [doc.doc_id for doc in corpus if rng.random() < 0.4]
+    reference = segment_reference_engine(corpus, removed)
+    segmented = make_segmented_engine(corpus, "tiered", removed)
+    for doc_id in removed[:10]:
+        replacement = IndexableDocument(
+            doc_id,
+            {"title": "audit escrow", "body": "finance network storage"},
+            {"deal_id": "deal0"},
+        )
+        reference.add(replacement)
+        segmented.add(replacement)
+    for query in QUERIES:
+        for limit in (None, 4):
+            assert_equivalent(segmented, query, limit,
+                              variants=[ExecutionOptions()])
+            parsed = parse_query(query)
+            assert ranking(
+                segmented, parsed, limit, None, ExecutionOptions()
+            ) == ranking(
+                reference, parsed, limit, None, ExecutionOptions()
+            )
+
+
+def test_cold_started_engine_matches_in_memory_rankings(corpus, tmp_path):
+    reference = segment_reference_engine(corpus)
+    segmented = make_segmented_engine(corpus, "tiered")
+    segmented.save_index(str(tmp_path))
+    cold = SearchEngine(cache_size=0)
+    cold.load_index(str(tmp_path))
+    for query in QUERIES:
+        parsed = parse_query(query)
+        for limit in (None, 3):
+            assert ranking(
+                cold, parsed, limit, None, ExecutionOptions()
+            ) == ranking(
+                reference, parsed, limit, None, ExecutionOptions()
+            ), f"query={query!r} limit={limit}"
+
+
+@pytest.mark.parametrize("layout", ["tiered", "tombstoned"])
+def test_segment_layouts_full_variant_zoo(corpus, layout):
+    """Every execution variant stays equivalent over segment layouts."""
+    removed = ("doc004", "doc017", "doc033") if layout == "tombstoned" else ()
+    segmented = make_segmented_engine(corpus, layout, removed)
+    for query in QUERIES:
+        assert_equivalent(segmented, query, limit=5)

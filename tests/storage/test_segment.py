@@ -1,0 +1,219 @@
+"""Segment codec tests: encode/decode parity, tombstones, merge, errors.
+
+The contract under test: a :class:`Segment` encoded from an
+``InvertedIndex`` must report exactly the statistics the index reports
+(document frequencies, term frequencies, field lengths, positions,
+metadata lookups), because the BM25 bit-identity of segment-backed
+search rests on those numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.search import IndexableDocument
+from repro.search.inverted_index import InvertedIndex
+from repro.storage.segment import (
+    MAGIC,
+    Segment,
+    encode_from_index,
+    merge_segments,
+)
+
+WORDS = ["network", "storage", "deal", "services", "migration",
+         "finance", "audit", "client", "review", "escrow"]
+
+
+def make_index(seed=11, docs=30):
+    rng = random.Random(seed)
+    index = InvertedIndex()
+    for i in range(docs):
+        index.add(
+            IndexableDocument(
+                f"doc{i:03d}",
+                {
+                    "title": " ".join(rng.choices(WORDS, k=3)),
+                    "body": " ".join(rng.choices(WORDS, k=rng.randint(5, 25))),
+                },
+                {"deal_id": f"deal{i % 4}", "rank": i % 3},
+            )
+        )
+    return index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return make_index()
+
+
+@pytest.fixture(scope="module")
+def segment(index):
+    return Segment.from_bytes(encode_from_index(index))
+
+
+def test_doc_round_trip(index, segment):
+    assert segment.doc_count == len(index)
+    for doc_id in index.doc_ids:
+        original = index.document(doc_id)
+        loaded = segment.document(doc_id)
+        assert loaded.doc_id == original.doc_id
+        assert dict(loaded.fields) == dict(original.fields)
+        assert dict(loaded.metadata) == dict(original.metadata)
+
+
+def test_statistics_match_index(index, segment):
+    assert sorted(segment.posting_fields()) == sorted(index.fields)
+    for field in index.fields:
+        assert segment.live_field_docs(field) == (
+            index.field_document_count(field)
+        )
+        assert segment.live_field_tokens(field) == (
+            index.field_token_total(field)
+        )
+        for term in index.vocabulary(field):
+            assert segment.df(field, term) == index.df(term, field)
+            stored = segment.stored_max_tf(field, term)
+            assert stored == index.max_tf(term, field) or stored >= max(
+                tf for _, tf, _ in segment.iter_term(field, term)
+            )
+    for doc_id in index.doc_ids:
+        for field in ("title", "body"):
+            assert segment.field_length(field, doc_id) == (
+                index.field_length(field, doc_id)
+            )
+        assert segment.total_length(doc_id) == index.total_length(doc_id)
+
+
+def test_postings_and_positions_match(index, segment):
+    for field in index.fields:
+        for term in index.vocabulary(field):
+            decoded = {
+                doc_id: tf for doc_id, tf, _ in segment.iter_term(field, term)
+            }
+            expected = {
+                doc_id: index.term_frequency(term, doc_id, field)
+                for doc_id in index.matching_docs(term, field)
+            }
+            assert decoded == expected
+            assert segment.positions(field, term) == (
+                index.postings(term, field)
+            )
+
+
+def test_metadata_lookup(index, segment):
+    for value in ("deal0", "deal3"):
+        assert segment.meta_docs("deal_id", value) == (
+            index.docs_with_metadata("deal_id", [value])
+        )
+    assert segment.meta_docs("deal_id", "nope") == set()
+    assert segment.meta_docs("rank", 1) == (
+        index.docs_with_metadata("rank", [1])
+    )
+
+
+def test_tombstone_adjusts_live_statistics(index):
+    segment = Segment.from_bytes(encode_from_index(index))
+    victim = "doc001"
+    body_len = segment.field_length("body", victim)
+    live_docs = segment.live_field_docs("body")
+    live_tokens = segment.live_field_tokens("body")
+    assert segment.tombstone(victim)
+    assert not segment.tombstone(victim)  # second call is a no-op
+    assert segment.document(victim) is None
+    assert not segment.has_doc(victim)
+    assert segment.live_count == segment.doc_count - 1
+    assert segment.live_field_docs("body") == live_docs - 1
+    assert segment.live_field_tokens("body") == live_tokens - body_len
+    # df over a tombstoned segment must count live docs only.
+    for field in segment.posting_fields():
+        for term in segment.terms(field):
+            live = sum(1 for _ in segment.iter_term(field, term))
+            assert segment.df(field, term) == live
+    assert victim not in segment.meta_docs("deal_id", "deal1")
+
+
+def test_merge_equals_single_segment_encode():
+    left, right = make_index(seed=1, docs=12), InvertedIndex()
+    combined = make_index(seed=1, docs=12)
+    rng = random.Random(3)
+    for i in range(12, 24):
+        document = IndexableDocument(
+            f"doc{i:03d}",
+            {"body": " ".join(rng.choices(WORDS, k=10))},
+            {"deal_id": f"deal{i % 4}"},
+        )
+        right.add(document)
+        combined.add(document)
+    merged = Segment.from_bytes(
+        merge_segments(
+            [
+                Segment.from_bytes(encode_from_index(left)),
+                Segment.from_bytes(encode_from_index(right)),
+            ]
+        )
+    )
+    reference = Segment.from_bytes(encode_from_index(combined))
+    assert merged.raw_bytes() == reference.raw_bytes()
+
+
+def test_merge_drops_tombstoned_docs():
+    index = make_index(seed=5, docs=10)
+    segment = Segment.from_bytes(encode_from_index(index))
+    segment.tombstone("doc002")
+    segment.tombstone("doc007")
+    merged = Segment.from_bytes(merge_segments([segment]))
+    assert merged.doc_count == 8
+    assert not merged.has_doc("doc002")
+    assert not merged.tombstones
+    for field in merged.posting_fields():
+        for term in merged.terms(field):
+            assert merged.df(field, term) > 0
+
+
+def test_merge_rejects_duplicate_live_doc():
+    index = make_index(seed=5, docs=4)
+    segment_a = Segment.from_bytes(encode_from_index(index))
+    segment_b = Segment.from_bytes(encode_from_index(index))
+    with pytest.raises(StorageError):
+        merge_segments([segment_a, segment_b])
+
+
+def test_file_backed_segment_reads_docs_lazily(tmp_path, index):
+    data = encode_from_index(index)
+    path = tmp_path / "seg-000001.rsg"
+    path.write_bytes(data)
+    segment = Segment.open(str(path))
+    try:
+        assert segment.doc_count == len(index)
+        for doc_id in list(index.doc_ids)[:5]:
+            assert segment.document(doc_id).fields == (
+                index.document(doc_id).fields
+            )
+        # Statistics never touch the docstore file.
+        assert segment.df("body", "network") == index.df("network", "body")
+    finally:
+        segment.close()
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(StorageError):
+        Segment.from_bytes(b"XXXX" + b"\x00" * 32)
+
+
+def test_truncated_segment_rejected(index):
+    data = encode_from_index(index)
+    assert data.startswith(MAGIC)
+    with pytest.raises(StorageError):
+        Segment.from_bytes(data[: len(data) // 4])
+
+
+def test_unserializable_metadata_is_rejected():
+    index = InvertedIndex()
+    index.add(
+        IndexableDocument(
+            "d1", {"body": "hello"}, {"when": object()}
+        )
+    )
+    with pytest.raises(StorageError):
+        encode_from_index(index)

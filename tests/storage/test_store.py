@@ -1,0 +1,276 @@
+"""SegmentBackedIndex lifecycle tests: LSM flow, save/load, corruption.
+
+Two contracts:
+
+* the store is a drop-in ``InvertedIndex``: every statistic it reports
+  (df, tf, lengths, averages, metadata lookups) must equal the plain
+  index over the same documents, through any sequence of adds, flushes,
+  removals and merges;
+* ``save``/``load`` round-trips the exact same state, and every
+  corruption mode — foreign files, flipped bytes, version skew,
+  truncation — is rejected with a typed :class:`StorageError`.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import SearchError, StorageError
+from repro.obs import use_registry
+from repro.search import IndexableDocument
+from repro.search.inverted_index import InvertedIndex
+from repro.storage import MANIFEST_NAME, SegmentBackedIndex
+
+WORDS = ["network", "storage", "deal", "services", "migration",
+         "finance", "audit", "client", "review", "escrow", "latency"]
+
+
+def make_docs(seed=21, docs=60):
+    rng = random.Random(seed)
+    return [
+        IndexableDocument(
+            f"doc{i:03d}",
+            {
+                "title": " ".join(rng.choices(WORDS, k=3)),
+                "body": " ".join(rng.choices(WORDS, k=rng.randint(5, 20))),
+            },
+            {"deal_id": f"deal{i % 5}"},
+        )
+        for i in range(docs)
+    ]
+
+
+def assert_index_equivalent(store, reference):
+    assert len(store) == len(reference)
+    assert set(store.doc_ids) == set(reference.doc_ids)
+    assert sorted(store.fields) == sorted(reference.fields)
+    for field in reference.fields:
+        assert store.field_document_count(field) == (
+            reference.field_document_count(field)
+        )
+        assert store.field_token_total(field) == (
+            reference.field_token_total(field)
+        )
+        assert store.average_length(field) == reference.average_length(field)
+        assert store.vocabulary(field) == reference.vocabulary(field)
+        for term in reference.vocabulary(field):
+            assert store.df(term, field) == reference.df(term, field)
+            assert store.matching_docs(term, field) == (
+                reference.matching_docs(term, field)
+            )
+            mine = store.term_postings(term, field)
+            theirs = reference.term_postings(term, field)
+            assert mine.doc_ids == theirs.doc_ids
+            assert mine.tfs == theirs.tfs
+            assert mine.lengths == theirs.lengths
+    assert store.token_total() == reference.token_total()
+    for doc_id in reference.doc_ids:
+        assert store.total_length(doc_id) == reference.total_length(doc_id)
+        assert dict(store.document(doc_id).fields) == (
+            dict(reference.document(doc_id).fields)
+        )
+    for value in ("deal0", "deal4"):
+        assert store.docs_with_metadata("deal_id", [value]) == (
+            reference.docs_with_metadata("deal_id", [value])
+        )
+
+
+def build_pair(docs, memtable_limit=16, merge_fanout=3):
+    store = SegmentBackedIndex(
+        memtable_limit=memtable_limit, merge_fanout=merge_fanout
+    )
+    reference = InvertedIndex()
+    for document in docs:
+        store.add(document)
+        reference.add(document)
+    return store, reference
+
+
+def test_pure_memtable_matches_reference():
+    store, reference = build_pair(make_docs(docs=10), memtable_limit=4096)
+    assert not store.segments
+    assert_index_equivalent(store, reference)
+
+
+def test_flush_and_tiered_merge_match_reference():
+    store, reference = build_pair(make_docs(docs=60), memtable_limit=8)
+    assert store.segments, "memtable limit should have forced flushes"
+    assert_index_equivalent(store, reference)
+
+
+def test_removals_across_memtable_and_segments():
+    docs = make_docs(docs=60)
+    store, reference = build_pair(docs, memtable_limit=10)
+    rng = random.Random(4)
+    for document in docs:
+        if rng.random() < 0.4:
+            store.remove(document.doc_id)
+            reference.remove(document.doc_id)
+    assert_index_equivalent(store, reference)
+    # Re-add under new content; compiled caches must follow.
+    replacement = IndexableDocument(
+        docs[0].doc_id, {"body": "latency escrow latency"}, {"deal_id": "d"}
+    )
+    store.add(replacement)
+    reference.add(replacement)
+    assert_index_equivalent(store, reference)
+
+
+def test_compact_collapses_to_one_clean_segment():
+    docs = make_docs(docs=40)
+    store, reference = build_pair(docs, memtable_limit=6)
+    for doc_id in ("doc000", "doc013", "doc027"):
+        store.remove(doc_id)
+        reference.remove(doc_id)
+    store.compact()
+    assert len(store.segments) == 1
+    assert not store.segments[0].tombstones
+    assert len(store.memtable) == 0
+    assert_index_equivalent(store, reference)
+
+
+def test_duplicate_add_rejected():
+    store, _ = build_pair(make_docs(docs=5), memtable_limit=2)
+    with pytest.raises(SearchError):
+        store.add(make_docs(docs=1)[0])
+
+
+def test_remove_unknown_doc_rejected():
+    store, _ = build_pair(make_docs(docs=5))
+    with pytest.raises(SearchError):
+        store.remove("doc999")
+
+
+def test_save_load_round_trip(tmp_path):
+    docs = make_docs(docs=50)
+    store, reference = build_pair(docs, memtable_limit=12)
+    store.remove("doc003")
+    reference.remove("doc003")
+    stats = store.save(str(tmp_path))
+    assert stats["docs"] == len(reference)
+    assert stats["bytes_per_doc"] > 0
+    loaded = SegmentBackedIndex.load(str(tmp_path))
+    assert_index_equivalent(loaded, reference)
+    # The loaded store keeps working as a live index.
+    loaded.add(
+        IndexableDocument("fresh", {"body": "escrow audit"}, {})
+    )
+    reference.add(
+        IndexableDocument("fresh", {"body": "escrow audit"}, {})
+    )
+    loaded.remove("doc010")
+    reference.remove("doc010")
+    assert_index_equivalent(loaded, reference)
+
+
+def test_save_is_rerunnable_and_sweeps_orphans(tmp_path):
+    store, reference = build_pair(make_docs(docs=40), memtable_limit=8)
+    store.save(str(tmp_path))
+    (tmp_path / "seg-999999.rsg").write_bytes(b"orphaned junk")
+    for doc_id in ("doc001", "doc002"):
+        store.remove(doc_id)
+        reference.remove(doc_id)
+    store.compact()
+    store.save(str(tmp_path))
+    assert not (tmp_path / "seg-999999.rsg").exists()
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    referenced = {entry["file"] for entry in manifest["segments"]}
+    on_disk = {p.name for p in tmp_path.glob("seg-*.rsg")}
+    assert on_disk == referenced
+    assert_index_equivalent(
+        SegmentBackedIndex.load(str(tmp_path)), reference
+    )
+
+
+def test_load_missing_directory_raises(tmp_path):
+    with pytest.raises(StorageError, match="manifest"):
+        SegmentBackedIndex.load(str(tmp_path / "nope"))
+
+
+def test_load_foreign_manifest_raises(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text('{"something": "else"}')
+    with pytest.raises(StorageError, match="not a segment index"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_unparseable_manifest_raises(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("{truncated")
+    with pytest.raises(StorageError, match="JSON"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_version_mismatch_raises(tmp_path):
+    store, _ = build_pair(make_docs(docs=5))
+    store.save(str(tmp_path))
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    manifest["version"] = 99
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(StorageError, match="version"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_tampered_manifest_raises(tmp_path):
+    store, _ = build_pair(make_docs(docs=5))
+    store.save(str(tmp_path))
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    manifest["next_segment"] = 12345
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(StorageError, match="checksum"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_corrupt_segment_raises(tmp_path):
+    store, _ = build_pair(make_docs(docs=30), memtable_limit=8)
+    store.save(str(tmp_path))
+    victim = next(iter(tmp_path.glob("seg-*.rsg")))
+    data = bytearray(victim.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    victim.write_bytes(bytes(data))
+    with pytest.raises(StorageError, match="checksum"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_truncated_segment_raises(tmp_path):
+    store, _ = build_pair(make_docs(docs=30), memtable_limit=8)
+    store.save(str(tmp_path))
+    victim = next(iter(tmp_path.glob("seg-*.rsg")))
+    victim.write_bytes(victim.read_bytes()[:-20])
+    with pytest.raises(StorageError):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_load_missing_segment_raises(tmp_path):
+    store, _ = build_pair(make_docs(docs=30), memtable_limit=8)
+    store.save(str(tmp_path))
+    next(iter(tmp_path.glob("seg-*.rsg"))).unlink()
+    with pytest.raises(StorageError, match="missing segment"):
+        SegmentBackedIndex.load(str(tmp_path))
+
+
+def test_directory_attached_store_spills_during_build(tmp_path):
+    """Attached mode writes segments at flush time, not only at save."""
+    store = SegmentBackedIndex(memtable_limit=8)
+    store.directory = str(tmp_path)
+    for document in make_docs(docs=30):
+        store.add(document)
+    assert list(tmp_path.glob("seg-*.rsg")), "flushes should hit disk"
+    # No manifest until save(); a crash here must leave nothing loadable.
+    assert not (tmp_path / MANIFEST_NAME).exists()
+    store.save(str(tmp_path))
+    assert (tmp_path / MANIFEST_NAME).exists()
+
+
+def test_storage_gauges_flow_through_registry(tmp_path):
+    with use_registry() as registry:
+        store, _ = build_pair(make_docs(docs=40), memtable_limit=8)
+        store.save(str(tmp_path))
+        gauges = {
+            name: value["value"]
+            for name, value in registry.snapshot().items()
+            if name.startswith("storage.") and value.get("type") == "gauge"
+        }
+        assert gauges["storage.segments"] == len(store.segments)
+        assert gauges["storage.memtable_docs"] == 0
+        assert gauges["storage.bytes_per_doc"] > 0
+        assert registry.counter("storage.flushes").value > 0
