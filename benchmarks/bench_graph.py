@@ -1,0 +1,355 @@
+"""Entity-graph query bench: ``BENCH_graph.json``.
+
+Measures the promises of the entity graph (``repro.graph``) at the
+paper's 100k-document scale:
+
+* **streaming materialization** — ``CorpusGenerator.iter_workbooks()``
+  feeds one workbook at a time through the annotator pipeline
+  (:class:`~repro.core.analysis.InformationAnalysis`), the organized
+  store, and :func:`~repro.graph.index_deal_from_organized`.  No
+  inverted index is built: the graph reads only synopsis rows, so the
+  bench isolates analysis + materialization cost.  Records docs/sec,
+  graph size, and RSS before/after.
+
+* **query latency** — p50/p95 wall-clock per meta-query class
+  (worked-with, role-capacity, expertise, team-overlap) over query
+  inputs sampled from the stored rows, at a graph covering 1000 deals.
+
+* **equivalence** — for a sample of worked-with and role-capacity
+  answers, the deal sets are recomputed directly from the relational
+  ``contacts`` rows (the Social Networking Annotator's rollup) and must
+  match the graph's answers exactly.  This is the MQ2/MQ3 consistency
+  claim from the acceptance criteria, asserted at full scale.
+
+Run standalone (CI smoke uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_graph.py [--smoke]
+
+or under pytest, where it asserts the JSON is well-formed::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_graph.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import resource
+import time
+from typing import Dict, List, Tuple
+
+from repro import CorpusConfig, CorpusGenerator
+from repro.core.analysis import InformationAnalysis
+from repro.core.organized import OrganizedInformation
+from repro.corpus import build_default_taxonomy
+from repro.docmodel.repository import WorkbookCollection
+from repro.graph import EntityGraph, index_deal_from_organized
+from repro.graph.model import person_key
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_graph.json"
+)
+QUERY_CLASSES = ("worked_with", "role_capacity", "expertise",
+                 "team_overlap")
+
+
+def _rss_mb() -> float:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return usage / 1024.0  # linux reports KiB
+
+
+def _percentile(samples: List[float], pct: float) -> float:
+    ordered = sorted(samples)
+    index = max(0, int(round(pct / 100.0 * len(ordered) + 0.5)) - 1)
+    return ordered[min(index, len(ordered) - 1)]
+
+
+def _stream_build(
+    deals: int, docs: int, seed: int
+) -> Tuple[EntityGraph, OrganizedInformation, Dict[str, object]]:
+    """Stream-generate, analyze and graph ``deals`` workbooks."""
+    analysis = InformationAnalysis(build_default_taxonomy())
+    organized = OrganizedInformation()
+    graph = EntityGraph()
+    rss_before = _rss_mb()
+    generator = CorpusGenerator(
+        CorpusConfig(seed=seed, n_deals=deals, docs_per_deal=docs)
+    )
+    started = time.perf_counter()
+    documents = 0
+    for workbook in generator.iter_workbooks():
+        deal_id = workbook.deal_id
+        results = analysis.analyze(WorkbookCollection([workbook]))
+        organized.store_deal_context(
+            deal_id, results.context.get(deal_id, {})
+        )
+        organized.store_scopes(deal_id, results.scopes.get(deal_id, []))
+        organized.store_contacts(deal_id,
+                                 results.contacts.get(deal_id, []))
+        organized.store_technologies(
+            deal_id, results.technologies.get(deal_id, [])
+        )
+        index_deal_from_organized(graph, organized, deal_id)
+        documents += results.documents_processed
+    build_seconds = time.perf_counter() - started
+    stats = graph.stats()
+    result = {
+        "deals": deals,
+        "docs_per_deal": docs,
+        "documents": documents,
+        "build_seconds": build_seconds,
+        "docs_per_second": (
+            documents / build_seconds if build_seconds else 0.0
+        ),
+        "nodes": stats["nodes"],
+        "edges": stats["edges"],
+        "nodes_by_kind": stats["nodes_by_kind"],
+        "edges_by_kind": stats["edges_by_kind"],
+        "rss_before_mb": rss_before,
+        "rss_after_mb": _rss_mb(),
+    }
+    return graph, organized, result
+
+
+def _sample_inputs(
+    graph: EntityGraph,
+    organized: OrganizedInformation,
+    seed: int,
+    per_class: int,
+) -> Dict[str, List[object]]:
+    """Draw query inputs for each class from the stored rows."""
+    rng = random.Random(seed)
+    names: List[str] = []
+    roles: List[str] = []
+    topics: List[str] = []
+    for deal_id in graph.deal_ids():
+        for row in organized.contacts_of(deal_id):
+            if row["name"]:
+                names.append(str(row["name"]))
+            if row["role"]:
+                roles.append(str(row["role"]))
+        for scope in organized.scopes_of(deal_id):
+            if scope["tower"]:
+                topics.append(str(scope["tower"]))
+        for tech in organized.technologies_of(deal_id):
+            if tech["term"]:
+                topics.append(str(tech["term"]))
+    names = sorted(set(names))
+    roles = sorted(set(roles))
+    topics = sorted(set(topics))
+
+    def draw(pool: List[str], count: int) -> List[str]:
+        return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+    return {
+        "worked_with": draw(names, per_class),
+        "role_capacity": draw(roles, per_class),
+        "expertise": draw(topics, per_class),
+        "team_overlap": draw(names, per_class),
+    }
+
+
+def _time_queries(
+    graph: EntityGraph, inputs: Dict[str, List[object]]
+) -> Dict[str, Dict[str, float]]:
+    """p50/p95 wall-clock (ms) per query class."""
+    runners = {
+        "worked_with": lambda arg: graph.worked_with(arg),
+        "role_capacity": lambda arg: graph.role_capacity(arg),
+        "expertise": lambda arg: graph.expertise(arg),
+        "team_overlap": lambda arg: graph.team_overlap(arg),
+    }
+    latency: Dict[str, Dict[str, float]] = {}
+    for klass in QUERY_CLASSES:
+        samples = []
+        for arg in inputs[klass]:
+            started = time.perf_counter()
+            runners[klass](arg)
+            samples.append((time.perf_counter() - started) * 1000.0)
+        latency[klass] = {
+            "queries": len(samples),
+            "p50_ms": _percentile(samples, 50.0),
+            "p95_ms": _percentile(samples, 95.0),
+            "max_ms": max(samples),
+        }
+    return latency
+
+
+def _check_equivalence(
+    graph: EntityGraph,
+    organized: OrganizedInformation,
+    inputs: Dict[str, List[object]],
+    sample: int,
+) -> Dict[str, object]:
+    """Recompute sampled answers from the contacts rows and compare.
+
+    One pass over every deal's contact list builds key → deals and
+    role → key → deals maps; the graph's worked-with deal sets and
+    role-capacity rosters must match them exactly.
+    """
+    key_deals: Dict[str, set] = {}
+    role_deals: Dict[str, Dict[str, set]] = {}
+    for deal_id in graph.deal_ids():
+        for row in organized.contacts_of(deal_id):
+            key = person_key(str(row["name"] or ""),
+                             str(row["email"] or ""))
+            if key is None:
+                continue
+            key_deals.setdefault(key, set()).add(deal_id)
+            role = str(row["role"] or "").lower()
+            if role:
+                role_deals.setdefault(role, {}).setdefault(
+                    key, set()
+                ).add(deal_id)
+
+    checked = 0
+    for name in inputs["worked_with"][:sample]:
+        answer = graph.worked_with(name)
+        expected = sorted(
+            set().union(*(key_deals.get(key, set())
+                          for key in answer.persons))
+        ) if answer.persons else []
+        if answer.deals != expected:
+            return {"checked": checked, "identical": False,
+                    "failed": f"worked_with:{name}"}
+        checked += 1
+    for role in inputs["role_capacity"][:sample]:
+        answer = graph.role_capacity(role)
+        expected = role_deals.get(answer.role.lower(), {})
+        if {p.key for p in answer.people} != set(expected):
+            return {"checked": checked, "identical": False,
+                    "failed": f"role_capacity:{role}"}
+        for person in answer.people:
+            if person.deals != sorted(expected[person.key]):
+                return {"checked": checked, "identical": False,
+                        "failed": f"role_capacity:{role}"}
+        checked += 1
+    return {"checked": checked, "identical": True}
+
+
+def run_bench(
+    deals: int = 1000,
+    docs: int = 100,
+    queries_per_class: int = 200,
+    equivalence_sample: int = 25,
+    seed: int = 2008,
+    out_path: pathlib.Path = DEFAULT_OUT,
+) -> Dict[str, object]:
+    """Run the build, latency and equivalence measurements."""
+    graph, organized, build = _stream_build(deals, docs, seed)
+    inputs = _sample_inputs(graph, organized, seed, queries_per_class)
+    latency = _time_queries(graph, inputs)
+    equivalence = _check_equivalence(graph, organized, inputs,
+                                     equivalence_sample)
+    report: Dict[str, object] = {
+        "bench": "graph",
+        "schema_version": 1,
+        "created_unix": time.time(),
+        "corpus": {
+            "seed": seed,
+            "deals": deals,
+            "docs_per_deal": docs,
+            "documents": build["documents"],
+        },
+        "build": build,
+        "latency": latency,
+        "equivalence": equivalence,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def check_report(report: Dict[str, object]) -> None:
+    """Schema + acceptance assertions shared by pytest and CI."""
+    assert report["bench"] == "graph"
+    assert report["schema_version"] == 1
+    build = report["build"]
+    assert build["documents"] > 0
+    assert build["docs_per_second"] > 0
+    assert build["nodes"] > 0 and build["edges"] > 0
+    assert build["nodes_by_kind"]["person"] > 0
+    assert build["edges_by_kind"]["member_of"] > 0
+    latency = report["latency"]
+    assert set(latency) == set(QUERY_CLASSES)
+    for klass in QUERY_CLASSES:
+        entry = latency[klass]
+        assert entry["queries"] > 0
+        assert 0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["max_ms"]
+    equivalence = report["equivalence"]
+    assert equivalence["checked"] > 0
+    assert equivalence["identical"] is True, (
+        "graph answers diverged from the contact rows: "
+        f"{equivalence.get('failed')}"
+    )
+
+
+def test_bench_graph(report_writer):
+    """Pytest entry: run a small bench and sanity-check the JSON."""
+    report = run_bench(deals=12, docs=12, queries_per_class=40,
+                       equivalence_sample=10)
+    check_report(report)
+    assert DEFAULT_OUT.exists()
+    parsed = json.loads(DEFAULT_OUT.read_text())
+    assert parsed["bench"] == "graph"
+    build = report["build"]
+    latency = report["latency"]
+    equivalence = report["equivalence"]
+    lines = [
+        "E19: entity-graph people & role search",
+        f"streamed {build['documents']} docs / {build['deals']} deals "
+        f"into {build['nodes']} nodes, {build['edges']} edges in "
+        f"{build['build_seconds']:.2f}s "
+        f"({build['docs_per_second']:.0f} docs/s)",
+    ] + [
+        f"{klass}: p50 {latency[klass]['p50_ms']:.3f} ms, "
+        f"p95 {latency[klass]['p95_ms']:.3f} ms "
+        f"({latency[klass]['queries']} queries)"
+        for klass in QUERY_CLASSES
+    ] + [
+        f"equivalence vs contact rows: {equivalence['checked']} answers "
+        f"checked, identical: {equivalence['identical']}",
+    ]
+    report_writer("E19_graph", "\n".join(lines))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--deals", type=int, default=1000)
+    parser.add_argument("--docs", type=int, default=100)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--equivalence-sample", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scales for CI")
+    args = parser.parse_args()
+    if args.smoke:
+        args.deals, args.docs = 12, 12
+        args.queries, args.equivalence_sample = 40, 10
+    report = run_bench(args.deals, args.docs, args.queries,
+                       args.equivalence_sample, args.seed, args.out)
+    check_report(report)
+    build = report["build"]
+    latency = report["latency"]
+    equivalence = report["equivalence"]
+    print(f"wrote {args.out}")
+    print(f"build      : {build['documents']} docs / {build['deals']} "
+          f"deals in {build['build_seconds']:.2f}s "
+          f"({build['docs_per_second']:.0f} docs/s)")
+    print(f"graph      : {build['nodes']} nodes, {build['edges']} edges "
+          f"(RSS {build['rss_before_mb']:.0f} -> "
+          f"{build['rss_after_mb']:.0f} MB)")
+    for klass in QUERY_CLASSES:
+        entry = latency[klass]
+        print(f"{klass:<12}: p50 {entry['p50_ms']:.3f} ms, "
+              f"p95 {entry['p95_ms']:.3f} ms over "
+              f"{entry['queries']} queries")
+    print(f"equivalence: {equivalence['checked']} answers checked, "
+          f"identical: {equivalence['identical']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

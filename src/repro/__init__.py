@@ -27,6 +27,11 @@ from repro.core import (
     EILSystem,
     EilResults,
     FormQuery,
+    GraphQuery,
+    graph_expertise_query,
+    graph_role_capacity_query,
+    graph_team_overlap_query,
+    graph_worked_with_query,
     render_deal_list,
     render_results,
     render_synopsis,
@@ -38,6 +43,7 @@ from repro.core import (
 from repro.corpus import Corpus, CorpusConfig, CorpusGenerator
 from repro.db import Database
 from repro.errors import ReproError
+from repro.graph import EntityGraph
 from repro.search import IndexableDocument, SearchEngine, SiapiQuery
 from repro.security import ANONYMOUS, AccessController, User
 
@@ -67,5 +73,11 @@ __all__ = [
     "worked_with_query",
     "role_capacity_query",
     "service_keyword_query",
+    "EntityGraph",
+    "GraphQuery",
+    "graph_worked_with_query",
+    "graph_role_capacity_query",
+    "graph_expertise_query",
+    "graph_team_overlap_query",
     "__version__",
 ]

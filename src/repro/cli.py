@@ -17,9 +17,14 @@ Commands:
 * ``persist`` — run the offline pipeline once and save the whole
   system (segment index + synopsis database + manifest) to a
   directory for cold starts.
+* ``graph``   — entity-graph people & role search: ``--worked-with``
+  / ``--role`` / ``--expertise`` / ``--overlap`` traversals over
+  :class:`~repro.graph.EntityGraph`, or ``--graph-stats`` for
+  node/edge counts.  See docs/QUERIES.md for the cookbook.
 
-``stats`` and ``serve`` accept ``--index-dir`` to cold-start from a
-``persist`` directory instead of rebuilding — the corpus flags must
+``stats``, ``serve`` and ``graph`` accept ``--index-dir`` to cold-start
+from a ``persist`` directory instead of rebuilding — the corpus flags
+must
 match the ones the index was persisted with (the synthetic corpus
 still supplies the taxonomy and workbook collection).
 
@@ -37,6 +42,7 @@ docs/OPERATIONS.md for the drill recipes.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import threading
@@ -47,6 +53,8 @@ from repro import obs
 from repro.core.eil import EILSystem
 from repro.core.facets import FacetService
 from repro.core.metaqueries import (
+    GraphQuery,
+    graph_worked_with_query,
     role_capacity_query,
     scope_query,
     service_keyword_query,
@@ -183,6 +191,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     persist.add_argument("output", help="target directory")
 
+    graph = commands.add_parser(
+        "graph",
+        help="entity-graph people & role search (see docs/QUERIES.md)",
+    )
+    traversal = graph.add_mutually_exclusive_group(required=True)
+    traversal.add_argument("--worked-with", default=None,
+                           metavar="PERSON", dest="worked_with",
+                           help="who has worked with PERSON (name or "
+                                "email) across deals")
+    traversal.add_argument("--role", default=None,
+                           help="who has worked in the capacity of "
+                                "ROLE (canonicalized, filled roles "
+                                "only)")
+    traversal.add_argument("--expertise", default=None, metavar="TOPIC",
+                           help="who knows TOPIC (technology term or "
+                                "tower name, substring match)")
+    traversal.add_argument("--overlap", default=None, metavar="PERSON",
+                           help="PERSON's colleagues ranked by Jaccard "
+                                "overlap of deal histories")
+    traversal.add_argument("--graph-stats", action="store_true",
+                           dest="graph_stats",
+                           help="print node/edge counts by kind "
+                                "instead of running a traversal")
+    graph.add_argument("--limit", type=int, default=None,
+                       help="cap on returned people (default: all)")
+    graph.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the answer as JSON")
+    graph.add_argument("--index-dir", default=None,
+                       help="cold-start from a 'persist' directory "
+                            "instead of rebuilding the index")
+
     return parser
 
 
@@ -293,6 +332,75 @@ def _cmd_persist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_people(people, header: str) -> None:
+    print(header)
+    if not people:
+        print("  (nobody)")
+        return
+    for person in people:
+        line = f"  {person.name}"
+        if person.roles:
+            line += f" — {', '.join(person.roles)}"
+        print(line)
+        deals = getattr(person, "deals", None)
+        if deals is None:
+            deals = person.shared_deals
+        detail = f"    deals: {', '.join(deals)}"
+        overlap = getattr(person, "overlap", 0.0)
+        if overlap:
+            detail += f"  overlap: {overlap:.2f}"
+        print(detail)
+        evidence = getattr(person, "evidence", None)
+        if evidence:
+            print(f"    via: {', '.join(evidence)}")
+        print(f"    cites: {', '.join(person.provenance)}")
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    _, eil = _make_system(args)
+    if args.graph_stats:
+        stats = eil.graph.stats()
+        if args.as_json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"deals: {stats['deals']}  nodes: {stats['nodes']}  "
+                  f"edges: {stats['edges']}  epoch: {stats['epoch']}")
+            for kind, count in stats["nodes_by_kind"].items():
+                print(f"  node {kind}: {count}")
+            for kind, count in stats["edges_by_kind"].items():
+                print(f"  edge {kind}: {count}")
+        return 0
+    if args.worked_with is not None:
+        query = GraphQuery("worked-with", args.worked_with, args.limit)
+    elif args.role is not None:
+        query = GraphQuery("role-capacity", args.role, args.limit)
+    elif args.expertise is not None:
+        query = GraphQuery("expertise", args.expertise, args.limit)
+    else:
+        query = GraphQuery("team-overlap", args.overlap, args.limit)
+    answer = eil.graph_query(query)
+    if args.as_json:
+        print(json.dumps(dataclasses.asdict(answer), indent=2,
+                         sort_keys=True))
+        return 0
+    print(query.describe())
+    if query.kind in ("worked-with", "team-overlap"):
+        if not answer.persons:
+            print(f"  no person matching {query.subject!r} in the "
+                  f"graph")
+            return 1
+        if query.kind == "worked-with":
+            print(f"  deals: {', '.join(answer.deals)}")
+        _render_people(answer.colleagues, "  colleagues:")
+    elif query.kind == "role-capacity":
+        print(f"  canonical role: {answer.role}")
+        _render_people(answer.people, "  people:")
+    else:
+        print(f"  matched: {', '.join(answer.matched) or '(nothing)'}")
+        _render_people(answer.people, "  people:")
+    return 0
+
+
 def _cmd_synopsis(args: argparse.Namespace) -> int:
     _, eil = _make_system(args)
     wanted = args.deal.strip().lower()
@@ -325,6 +433,12 @@ def _stats_workload(eil: EILSystem, corpus, rounds: int) -> None:
                 # Both substrates down; already counted under
                 # query.unavailable — the report should still print.
                 pass
+        # The graph traversal form of MQ2: reads only in-memory graph
+        # state (no substrates), so it needs no fault handling and the
+        # graph.* metrics always land in the report.
+        eil.graph_query(
+            graph_worked_with_query(member.person.full_name)
+        )
         try:
             eil.keyword_search("end user services")
             # A limited OR query exercises the top-k executor: the
@@ -432,6 +546,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "persist": _cmd_persist,
+    "graph": _cmd_graph,
 }
 
 

@@ -6,6 +6,11 @@ from repro.core.context import ContactView, DealSynopsis, SynopsisBuilder
 from repro.core.eil import BuildReport, EILSystem
 from repro.core.facets import FACET_NAMES, FacetService
 from repro.core.metaqueries import (
+    GraphQuery,
+    graph_expertise_query,
+    graph_role_capacity_query,
+    graph_team_overlap_query,
+    graph_worked_with_query,
     role_capacity_query,
     scope_query,
     service_keyword_query,
@@ -54,4 +59,9 @@ __all__ = [
     "worked_with_query",
     "role_capacity_query",
     "service_keyword_query",
+    "GraphQuery",
+    "graph_worked_with_query",
+    "graph_role_capacity_query",
+    "graph_expertise_query",
+    "graph_team_overlap_query",
 ]

@@ -40,9 +40,11 @@ from repro.core.search import BusinessActivityDrivenSearch, EilResults
 from repro.corpus.generator import Corpus
 from repro.corpus.taxonomy import ServiceTaxonomy
 from repro.db.persistence import dump_database, load_database
+from repro.core.metaqueries import GraphQuery
 from repro.docmodel.repository import WorkbookCollection
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientError
 from repro.faults import RetryPolicy
+from repro.graph import EntityGraph, index_deal_from_organized
 from repro.intranet.directory import PersonnelDirectory
 from repro.obs import get_registry, get_tracer
 from repro.search.document import SearchHit
@@ -114,6 +116,7 @@ class EILSystem:
     _EIL_VERSION = 1
     _INDEX_SUBDIR = "index"
     _SYNOPSIS_FILE = "synopsis.json"
+    _GRAPH_FILE = "graph.json"
 
     def __init__(
         self,
@@ -165,6 +168,10 @@ class EILSystem:
         self.siapi = SiapiService(self.engine)
         self.organized = OrganizedInformation()
         self.synopsis_builder = SynopsisBuilder(self.organized)
+        # The entity graph (repro.graph): materialized from the same
+        # rows the populate step stores, kept in lockstep by
+        # add_workbook / remove_deal under its own RW lock + epoch.
+        self.graph = EntityGraph()
         self._retry = retry or RetryPolicy()
         self._analysis = InformationAnalysis(
             taxonomy,
@@ -290,6 +297,10 @@ class EILSystem:
                         deal_id, results.references.get(deal_id, [])
                     )
 
+            with tracer.span("offline.graph", deals=len(deal_ids)):
+                for deal_id in sorted(deal_ids):
+                    self._index_deal_graph(deal_id)
+
             self._search = BusinessActivityDrivenSearch(
                 organized=self.organized,
                 taxonomy=self.taxonomy,
@@ -324,6 +335,7 @@ class EILSystem:
               index/              # segment store (MANIFEST.json or, when
                                   # sharded, SHARDS.json + shard-NN/)
               synopsis.json       # organized-information database snapshot
+              graph.json          # entity graph (canonical, checksummed)
 
         Every file lands atomically (temp + fsync + rename), so a crash
         mid-save leaves any previous snapshot loadable.  Returns the
@@ -340,10 +352,12 @@ class EILSystem:
                 self.organized.db,
                 os.path.join(directory, self._SYNOPSIS_FILE),
             )
+            self.graph.save(os.path.join(directory, self._GRAPH_FILE))
             manifest = {
                 "format": self._EIL_FORMAT,
                 "version": self._EIL_VERSION,
                 "shards": self.shards,
+                "graph": self._GRAPH_FILE,
                 "repositories": self._repositories,
                 "build_report": (
                     asdict(self.build_report)
@@ -456,6 +470,17 @@ class EILSystem:
                 )
             )
         system.synopsis_builder = SynopsisBuilder(system.organized)
+        graph_path = os.path.join(directory, cls._GRAPH_FILE)
+        if os.path.exists(graph_path):
+            # The persisted graph is canonical: loading it (rather than
+            # rebuilding) is what makes cold starts bit-identical.
+            system.graph = EntityGraph.load(graph_path, verify=verify)
+        else:
+            # Pre-graph save_index layouts stay loadable: the graph is
+            # derived state, so rebuild it from the synopsis DB.
+            from repro.graph import build_graph
+
+            system.graph = build_graph(system.organized)
         system._repositories = dict(manifest.get("repositories") or {})
         system._search = BusinessActivityDrivenSearch(
             organized=system.organized,
@@ -495,6 +520,26 @@ class EILSystem:
         self.access.require_synopsis_access(user)
         return self.synopsis_builder.build(deal_id)
 
+    def graph_query(self, query: GraphQuery):
+        """Run one entity-graph query (people & role search).
+
+        Dispatches a :class:`~repro.core.metaqueries.GraphQuery` to the
+        matching :class:`~repro.graph.EntityGraph` traversal.  Graph
+        queries read only the in-memory graph (no synopsis-DB or index
+        substrate), so they stay answerable on every rung of the
+        degradation ladder.
+        """
+        with get_tracer().span("online.graph_query", kind=query.kind):
+            if query.kind == "worked-with":
+                return self.graph.worked_with(query.subject, query.limit)
+            if query.kind == "role-capacity":
+                return self.graph.role_capacity(query.subject,
+                                                query.limit)
+            if query.kind == "expertise":
+                return self.graph.expertise(query.subject, query.limit)
+            # GraphQuery.__post_init__ validated the kind already.
+            return self.graph.team_overlap(query.subject, query.limit)
+
     def keyword_search(
         self, query: str, limit: Optional[int] = None
     ) -> List[SearchHit]:
@@ -522,6 +567,26 @@ class EILSystem:
                 "run_offline_pipeline() must complete before searching"
             )
         return self._search
+
+    def _index_deal_graph(self, deal_id: str) -> None:
+        """(Re)materialize one deal's subgraph, surviving db faults.
+
+        Materialization reads the deal's stored rows back out of the
+        synopsis database, so its SELECTs cross the ``db`` fault point.
+        Transient failures retry under the build's policy; a deal whose
+        reads stay failing is skipped (``graph.deals_skipped``) rather
+        than aborting the build — the same degrade-don't-crash
+        philosophy as document quarantine.  The skipped deal's graph
+        view self-heals on the next successful re-index (add_workbook,
+        or a cold-start rebuild).
+        """
+        try:
+            self._retry.call(
+                index_deal_from_organized,
+                self.graph, self.organized, deal_id,
+            )
+        except TransientError:
+            get_registry().inc("graph.deals_skipped")
 
     # -- incremental maintenance ---------------------------------------------
 
@@ -571,6 +636,7 @@ class EILSystem:
         self.organized.store_client_references(
             deal_id, results.references.get(deal_id, [])
         )
+        self._index_deal_graph(deal_id)
         if self.build_report is not None:
             self.build_report.documents_indexed += crawl.indexed
             self.build_report.documents_analyzed += (
@@ -614,6 +680,7 @@ class EILSystem:
         self.organized.db.execute(
             "DELETE FROM deals WHERE deal_id = ?", [deal_id]
         )
+        self.graph.remove_deal(deal_id)
         self._repositories.pop(deal_id, None)
         if self._search is not None:
             self._search.repositories.pop(deal_id, None)

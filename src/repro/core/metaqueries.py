@@ -4,9 +4,20 @@ Each helper turns a meta-query's parameters into the
 :class:`~repro.core.query_analyzer.FormQuery` a sales professional would
 compose in the EIL search editor, and documents the multi-step keyword
 procedure the paper describes as the baseline for the same need.
+
+The graph query classes live here too: a :class:`GraphQuery` names one
+of the entity-graph traversals (:mod:`repro.graph`) the same way a
+``FormQuery`` names a form search, and ``EILSystem.graph_query``
+executes it.  Where MQ2/MQ3 answer "which deals", the graph classes
+answer the *people* questions directly — who, with what roles, on
+which deals, with the contact rows as provenance.  See docs/QUERIES.md
+for the full cookbook.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.query_analyzer import FormQuery
 
@@ -15,6 +26,12 @@ __all__ = [
     "worked_with_query",
     "role_capacity_query",
     "service_keyword_query",
+    "GraphQuery",
+    "GRAPH_QUERY_KINDS",
+    "graph_worked_with_query",
+    "graph_role_capacity_query",
+    "graph_expertise_query",
+    "graph_team_overlap_query",
 ]
 
 
@@ -66,3 +83,78 @@ def service_keyword_query(
         exact_phrase=keyword,
         search_in="synopsis" if in_synopsis else "ewb",
     )
+
+
+#: The graph query classes ``EILSystem.graph_query`` dispatches on.
+GRAPH_QUERY_KINDS = (
+    "worked-with",
+    "role-capacity",
+    "expertise",
+    "team-overlap",
+)
+
+
+@dataclass(frozen=True)
+class GraphQuery:
+    """One entity-graph query: a traversal class plus its subject.
+
+    Attributes:
+        kind: One of :data:`GRAPH_QUERY_KINDS`.
+        subject: The person name/email, canonical role, or
+            technology/tower term the traversal starts from.
+        limit: Optional cap on returned people/colleagues.
+    """
+
+    kind: str
+    subject: str
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRAPH_QUERY_KINDS:
+            raise ValueError(
+                f"unknown graph query kind {self.kind!r}; expected one "
+                f"of {', '.join(GRAPH_QUERY_KINDS)}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable form for logs and the CLI."""
+        return f"graph:{self.kind}({self.subject!r})"
+
+
+def graph_worked_with_query(
+    person: str, limit: Optional[int] = None
+) -> GraphQuery:
+    """Meta-query 2, graph form: who has worked with ``person``?
+
+    Where :func:`worked_with_query` returns the *deals* whose contact
+    lists mention the person (the user then opens each People tab),
+    the graph form returns the colleagues directly — merged across
+    deals, with roles and the contact rows as provenance.  Figure 7's
+    three-step keyword episode becomes one traversal.
+    """
+    return GraphQuery("worked-with", person, limit)
+
+
+def graph_role_capacity_query(
+    role: str, limit: Optional[int] = None
+) -> GraphQuery:
+    """Meta-query 3, graph form: who has worked in the capacity of
+    ``role``, with the supporting deals — only filled roles match,
+    never the empty form fields that trap the keyword baseline."""
+    return GraphQuery("role-capacity", role, limit)
+
+
+def graph_expertise_query(
+    topic: str, limit: Optional[int] = None
+) -> GraphQuery:
+    """Expertise lookup: people on deals that used a technology or had
+    a tower in scope whose name matches ``topic``."""
+    return GraphQuery("expertise", topic, limit)
+
+
+def graph_team_overlap_query(
+    person: str, limit: Optional[int] = None
+) -> GraphQuery:
+    """Team-overlap ranking: ``person``'s colleagues ordered by the
+    Jaccard overlap of their deal histories."""
+    return GraphQuery("team-overlap", person, limit)

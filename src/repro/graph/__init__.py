@@ -1,0 +1,40 @@
+"""repro.graph — the typed entity graph for people & role search.
+
+Materializes the Social Networking Annotator's rolled-up output (plus
+scope and technology rows) into a provenance-carrying
+person—deal—tower—technology graph and answers the meta-query classes
+the flat per-deal contact lists cannot: "who has worked with X across
+deals", role-capacity search with evidence, expertise lookup by
+technology, and team-overlap ranking.  See
+:mod:`repro.graph.graph` for the consistency contract and
+:mod:`repro.graph.materialize` for how the graph is derived from the
+organized information.
+"""
+
+from repro.graph.graph import (
+    Colleague,
+    EntityGraph,
+    ExpertiseAnswer,
+    PersonEvidence,
+    RoleCapacityAnswer,
+    TeamOverlapAnswer,
+    WorkedWithAnswer,
+)
+from repro.graph.materialize import build_graph, index_deal_from_organized
+from repro.graph.model import Edge, NodeRef, Provenance, person_key
+
+__all__ = [
+    "EntityGraph",
+    "Edge",
+    "NodeRef",
+    "Provenance",
+    "person_key",
+    "Colleague",
+    "PersonEvidence",
+    "WorkedWithAnswer",
+    "RoleCapacityAnswer",
+    "ExpertiseAnswer",
+    "TeamOverlapAnswer",
+    "build_graph",
+    "index_deal_from_organized",
+]

@@ -1,0 +1,714 @@
+"""The EIL entity graph: materialization, queries, persistence.
+
+:class:`EntityGraph` is the people-and-role search substrate the
+ROADMAP calls for: the Social Networking Annotator's rolled-up contact
+lists, the scope CPE's tower rankings and the synopsis technology rows,
+materialized as one typed graph (person—deal—tower—technology) that
+answers the meta-query classes flat per-deal lists cannot:
+
+* :meth:`worked_with` — "who has worked with X across deals"
+  (meta-query 2, Figure 7's three-step keyword episode in one hop);
+* :meth:`role_capacity` — "who has worked in the capacity of R"
+  (meta-query 3) with the deals as evidence;
+* :meth:`expertise` — "who knows technology/service T", a traversal
+  from technology and tower nodes through deals to people;
+* :meth:`team_overlap` — colleagues of X ranked by how much of their
+  deal history is shared (Jaccard overlap).
+
+Consistency contract (the same one the search engine keeps):
+
+* every mutation (:meth:`index_deal`, :meth:`remove_deal`) runs under
+  the write side of a :class:`~repro.concurrency.ReadWriteLock` and
+  bumps :attr:`epoch`; every query runs under the read side, so a
+  query's view of (epoch, graph state) is a consistent snapshot while
+  ``EILSystem.add_workbook`` / ``remove_deal`` mutate concurrently;
+* every edge cites the organized-information row it came from, so
+  graph answers are provably consistent with the per-deal contact
+  lists — the equivalence suite asserts it row by row;
+* serialization is canonical (sorted nodes, edges and keys), so
+  ``save`` → ``load`` → ``save`` is bit-identical and cold starts
+  reload the exact graph that was persisted.
+
+Metrics (``repro stats`` vocabulary): ``graph.nodes`` /
+``graph.edges`` / ``graph.deals`` gauges after every mutation,
+``graph.queries`` + ``graph.queries.<class>`` counters and the
+``graph.query_seconds`` histogram around every query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.concurrency import AtomicCounter, ReadWriteLock
+from repro.errors import StorageError
+from repro.graph.model import (
+    DEAL,
+    IN_SCOPE,
+    MEMBER_OF,
+    PERSON,
+    TECHNOLOGY,
+    TOWER,
+    USES,
+    Edge,
+    NodeRef,
+    Provenance,
+    person_key,
+)
+from repro.obs import get_registry
+from repro.storage.atomic import atomic_write_text
+from repro.text.normalize import name_key, normalize_email, normalize_role
+
+__all__ = [
+    "Colleague",
+    "PersonEvidence",
+    "WorkedWithAnswer",
+    "RoleCapacityAnswer",
+    "ExpertiseAnswer",
+    "TeamOverlapAnswer",
+    "EntityGraph",
+]
+
+_GRAPH_FORMAT = "repro-entity-graph"
+_GRAPH_VERSION = 1
+
+
+@dataclass
+class Colleague:
+    """One co-worker of the queried person.
+
+    Attributes:
+        key: The colleague's person-node key.
+        name: Display name (most-mentioned, ties broken
+            lexicographically).
+        shared_deals: Deals both people worked on, sorted.
+        roles: Distinct roles the colleague held on those deals.
+        provenance: Citations of the contact rows backing the shared
+            memberships (``contacts:<id>``).
+        overlap: Jaccard overlap of deal histories; 0.0 unless ranked
+            by :meth:`EntityGraph.team_overlap`.
+    """
+
+    key: str
+    name: str
+    shared_deals: List[str]
+    roles: List[str]
+    provenance: List[str]
+    overlap: float = 0.0
+
+
+@dataclass
+class PersonEvidence:
+    """One person plus the deals/rows that justify the answer.
+
+    Attributes:
+        key: Person-node key.
+        name: Display name.
+        deals: Supporting deal ids, sorted.
+        roles: Distinct roles held on those deals.
+        provenance: Contact-row citations for the memberships.
+        evidence: For expertise answers: the matched technology/tower
+            node keys reached through each deal.
+    """
+
+    key: str
+    name: str
+    deals: List[str]
+    roles: List[str]
+    provenance: List[str]
+    evidence: List[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkedWithAnswer:
+    """Meta-query 2 over the graph: X's deals and colleagues."""
+
+    query: str
+    persons: List[str]
+    deals: List[str]
+    colleagues: List[Colleague]
+
+
+@dataclass
+class RoleCapacityAnswer:
+    """Meta-query 3 over the graph: who held a role, with evidence."""
+
+    query: str
+    role: str
+    people: List[PersonEvidence]
+
+
+@dataclass
+class ExpertiseAnswer:
+    """Expertise lookup: people reached through matching tech/towers."""
+
+    query: str
+    matched: List[str]
+    people: List[PersonEvidence]
+
+
+@dataclass
+class TeamOverlapAnswer:
+    """Colleagues of X ranked by Jaccard overlap of deal histories."""
+
+    query: str
+    persons: List[str]
+    colleagues: List[Colleague]
+
+
+class EntityGraph:
+    """The typed entity graph (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = ReadWriteLock()
+        self._epoch = AtomicCounter()
+        # Every edge is owned by exactly one deal; the incident maps
+        # are keyed by id(edge) so removal is O(edges of the deal)
+        # rather than O(degree) list scans on popular tower nodes.
+        self._deal_edges: Dict[str, List[Edge]] = {}
+        self._deal_attrs: Dict[str, Dict[str, object]] = {}
+        self._incident: Dict[NodeRef, Dict[int, Edge]] = {}
+        # Secondary index: name_key -> person nodes whose membership
+        # edges carry that display name (resolves "Sam White" to an
+        # email-keyed node).  Values are reference counts for removal.
+        self._name_index: Dict[str, Dict[NodeRef, int]] = {}
+
+    # -- epoch / introspection ----------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch; bumped by every index/remove."""
+        return self._epoch.value
+
+    def deal_ids(self) -> List[str]:
+        """Indexed deals, sorted."""
+        with self._lock.read():
+            return sorted(self._deal_attrs)
+
+    def stats(self) -> Dict[str, object]:
+        """Node/edge counts by kind (one consistent snapshot)."""
+        with self._lock.read():
+            nodes: Dict[str, int] = {}
+            for ref in self._node_refs():
+                nodes[ref.kind] = nodes.get(ref.kind, 0) + 1
+            edges: Dict[str, int] = {}
+            for deal_edges in self._deal_edges.values():
+                for edge in deal_edges:
+                    edges[edge.kind] = edges.get(edge.kind, 0) + 1
+            return {
+                "deals": len(self._deal_attrs),
+                "nodes": sum(nodes.values()),
+                "edges": sum(edges.values()),
+                "nodes_by_kind": {k: nodes[k] for k in sorted(nodes)},
+                "edges_by_kind": {k: edges[k] for k in sorted(edges)},
+                "epoch": self.epoch,
+            }
+
+    def _node_refs(self) -> Set[NodeRef]:
+        refs = {NodeRef(DEAL, deal_id) for deal_id in self._deal_attrs}
+        refs.update(self._incident)
+        return refs
+
+    # -- materialization ----------------------------------------------------
+
+    def index_deal(
+        self,
+        deal_id: str,
+        deal_row: Optional[Mapping[str, object]],
+        contact_rows: Iterable[Mapping[str, object]],
+        scope_rows: Iterable[Mapping[str, object]] = (),
+        technology_rows: Iterable[Mapping[str, object]] = (),
+    ) -> int:
+        """(Re)index one deal's subgraph from organized-information rows.
+
+        Idempotent: any existing subgraph for ``deal_id`` is dropped
+        first, so re-running after ``add_workbook`` upserts never
+        duplicates edges.  Returns the number of edges indexed.
+        """
+        edges: List[Edge] = []
+        deal_node = NodeRef(DEAL, deal_id)
+        for row in contact_rows:
+            name = str(row.get("name") or "")
+            email = normalize_email(str(row.get("email") or ""))
+            key = person_key(name, email)
+            if key is None:
+                continue
+            edges.append(Edge(
+                kind=MEMBER_OF,
+                source=NodeRef(PERSON, key),
+                target=deal_node,
+                deal_id=deal_id,
+                provenance=Provenance(
+                    "contacts", str(row.get("contact_id"))
+                ),
+                attrs={
+                    "name": name or email,
+                    "email": email,
+                    "role": str(row.get("role") or ""),
+                    "category": str(row.get("category") or ""),
+                    "validated": bool(row.get("validated")),
+                },
+            ))
+        for row in scope_rows:
+            tower = str(row.get("tower") or row.get("canonical") or "")
+            if not tower:
+                continue
+            rank = row.get("rank")
+            edges.append(Edge(
+                kind=IN_SCOPE,
+                source=deal_node,
+                target=NodeRef(TOWER, tower.lower()),
+                deal_id=deal_id,
+                provenance=Provenance(
+                    "deal_scopes", f"{deal_id}#{rank}"
+                ),
+                attrs={
+                    "tower": tower,
+                    "canonical": str(row.get("canonical") or ""),
+                    "weight": float(row.get("weight") or 0.0),
+                    "rank": int(rank or 0),
+                },
+            ))
+        for row in technology_rows:
+            term = str(row.get("term") or "")
+            if not term:
+                continue
+            edges.append(Edge(
+                kind=USES,
+                source=deal_node,
+                target=NodeRef(TECHNOLOGY, term.lower()),
+                deal_id=deal_id,
+                provenance=Provenance(
+                    "technologies", str(row.get("technology_id"))
+                ),
+                attrs={
+                    "term": term,
+                    "tower": str(row.get("tower") or ""),
+                },
+            ))
+        attrs = {
+            "name": str((deal_row or {}).get("name") or deal_id),
+            "customer": (deal_row or {}).get("customer"),
+            "industry": (deal_row or {}).get("industry"),
+        }
+        with self._lock.write():
+            self._remove_deal_locked(deal_id)
+            self._deal_attrs[deal_id] = attrs
+            self._deal_edges[deal_id] = edges
+            for edge in edges:
+                self._incident.setdefault(edge.source, {})[id(edge)] = edge
+                self._incident.setdefault(edge.target, {})[id(edge)] = edge
+                if edge.kind == MEMBER_OF:
+                    self._index_name(edge)
+            self._epoch.increment()
+            self._set_gauges_locked()
+        get_registry().inc("graph.deals_indexed")
+        return len(edges)
+
+    def remove_deal(self, deal_id: str) -> int:
+        """Drop one deal's subgraph; orphaned nodes disappear with it.
+
+        Returns the number of edges removed.
+        """
+        with self._lock.write():
+            removed = self._remove_deal_locked(deal_id)
+            if removed:
+                self._epoch.increment()
+                self._set_gauges_locked()
+        if removed:
+            get_registry().inc("graph.deals_removed")
+        return removed
+
+    def _remove_deal_locked(self, deal_id: str) -> int:
+        edges = self._deal_edges.pop(deal_id, [])
+        self._deal_attrs.pop(deal_id, None)
+        for edge in edges:
+            for endpoint in (edge.source, edge.target):
+                incident = self._incident.get(endpoint)
+                if incident is not None:
+                    incident.pop(id(edge), None)
+                    if not incident:
+                        del self._incident[endpoint]
+            if edge.kind == MEMBER_OF:
+                self._unindex_name(edge)
+        return len(edges)
+
+    def _index_name(self, edge: Edge) -> None:
+        key = name_key(str(edge.attrs.get("name") or ""))
+        if not key:
+            return
+        holders = self._name_index.setdefault(key, {})
+        holders[edge.source] = holders.get(edge.source, 0) + 1
+
+    def _unindex_name(self, edge: Edge) -> None:
+        key = name_key(str(edge.attrs.get("name") or ""))
+        holders = self._name_index.get(key)
+        if not holders:
+            return
+        count = holders.get(edge.source, 0) - 1
+        if count > 0:
+            holders[edge.source] = count
+        else:
+            holders.pop(edge.source, None)
+            if not holders:
+                del self._name_index[key]
+
+    def _set_gauges_locked(self) -> None:
+        registry = get_registry()
+        registry.set_gauge("graph.deals", len(self._deal_attrs))
+        registry.set_gauge("graph.nodes", len(self._node_refs()))
+        registry.set_gauge(
+            "graph.edges",
+            sum(len(edges) for edges in self._deal_edges.values()),
+        )
+
+    # -- shared traversal helpers (caller holds the read lock) --------------
+
+    def _resolve_persons_locked(self, text: str) -> List[NodeRef]:
+        """Person nodes matching ``text`` (email, key, or display name)."""
+        text = (text or "").strip()
+        if not text:
+            return []
+        matches: Set[NodeRef] = set()
+        if "@" in text:
+            ref = NodeRef(PERSON, f"email:{normalize_email(text)}")
+            if ref in self._incident:
+                matches.add(ref)
+        else:
+            key = name_key(text)
+            ref = NodeRef(PERSON, f"name:{key}")
+            if ref in self._incident:
+                matches.add(ref)
+            matches.update(self._name_index.get(key, ()))
+        return sorted(matches)
+
+    def _memberships_locked(self, ref: NodeRef) -> List[Edge]:
+        return [
+            edge for edge in self._incident.get(ref, {}).values()
+            if edge.kind == MEMBER_OF and edge.source == ref
+        ]
+
+    def _deal_members_locked(self, deal_id: str) -> List[Edge]:
+        return [
+            edge for edge in self._deal_edges.get(deal_id, [])
+            if edge.kind == MEMBER_OF
+        ]
+
+    def _person_name_locked(self, ref: NodeRef) -> str:
+        """Display name: most mentions, ties lexicographically smallest.
+
+        Derived from the membership edges rather than stored, so the
+        result is independent of indexing order (incremental
+        ``add_workbook`` and a full rebuild agree).
+        """
+        counts: Dict[str, int] = {}
+        for edge in self._memberships_locked(ref):
+            name = str(edge.attrs.get("name") or "")
+            if name:
+                counts[name] = counts.get(name, 0) + 1
+        if not counts:
+            return ref.key.partition(":")[2]
+        return min(counts, key=lambda name: (-counts[name], name))
+
+    @staticmethod
+    def _collect(
+        per_person: Dict[NodeRef, Dict[str, set]],
+        edge: Edge,
+        extra: Optional[str] = None,
+    ) -> None:
+        slot = per_person.setdefault(
+            edge.source,
+            {"deals": set(), "roles": set(), "provenance": set(),
+             "evidence": set()},
+        )
+        slot["deals"].add(edge.deal_id)
+        role = str(edge.attrs.get("role") or "")
+        if role:
+            slot["roles"].add(role)
+        slot["provenance"].add(edge.provenance.cite())
+        if extra:
+            slot["evidence"].add(extra)
+
+    # -- queries -------------------------------------------------------------
+
+    def worked_with(
+        self, person: str, limit: Optional[int] = None
+    ) -> WorkedWithAnswer:
+        """Meta-query 2: everyone who shared a deal with ``person``.
+
+        One traversal replaces Figure 7's three-step keyword episode:
+        person → deals → co-members, each colleague carrying the roles
+        they held and the contact rows that prove the membership.
+        """
+        with self._query("worked_with"), self._lock.read():
+            refs = self._resolve_persons_locked(person)
+            deals: Set[str] = set()
+            for ref in refs:
+                deals.update(
+                    edge.deal_id for edge in self._memberships_locked(ref)
+                )
+            per_person: Dict[NodeRef, Dict[str, set]] = {}
+            for deal_id in deals:
+                for edge in self._deal_members_locked(deal_id):
+                    if edge.source in refs:
+                        continue
+                    self._collect(per_person, edge)
+            colleagues = [
+                Colleague(
+                    key=ref.key,
+                    name=self._person_name_locked(ref),
+                    shared_deals=sorted(slot["deals"]),
+                    roles=sorted(slot["roles"]),
+                    provenance=sorted(slot["provenance"]),
+                )
+                for ref, slot in per_person.items()
+            ]
+            colleagues.sort(
+                key=lambda c: (-len(c.shared_deals), c.name, c.key)
+            )
+            return WorkedWithAnswer(
+                query=person,
+                persons=[ref.key for ref in refs],
+                deals=sorted(deals),
+                colleagues=colleagues[:limit],
+            )
+
+    def role_capacity(
+        self, role: str, limit: Optional[int] = None
+    ) -> RoleCapacityAnswer:
+        """Meta-query 3: who has worked in the capacity of ``role``.
+
+        The role is canonicalized the same way the rollup canonicalized
+        it at extraction time (``normalize_role``), so "cross tower
+        TSA" and "Cross Tower Technical Solution Architect" answer
+        identically — and, unlike the paper's keyword baseline, only
+        *filled* roles match (no 149-empty-form-field trap).
+        """
+        canonical = normalize_role(role or "")
+        wanted = canonical.lower()
+        with self._query("role_capacity"), self._lock.read():
+            per_person: Dict[NodeRef, Dict[str, set]] = {}
+            for edges in self._deal_edges.values():
+                for edge in edges:
+                    if edge.kind != MEMBER_OF:
+                        continue
+                    held = str(edge.attrs.get("role") or "").lower()
+                    if held == wanted and wanted:
+                        self._collect(per_person, edge)
+            people = self._evidence_list(per_person)
+            return RoleCapacityAnswer(
+                query=role, role=canonical, people=people[:limit]
+            )
+
+    def expertise(
+        self, topic: str, limit: Optional[int] = None
+    ) -> ExpertiseAnswer:
+        """Expertise lookup: people on deals that used ``topic``.
+
+        ``topic`` matches technology terms and tower names
+        (case-insensitive substring), then the traversal walks
+        technology/tower → deals → people; each person's evidence
+        names the matched nodes their deals reached.
+        """
+        needle = (topic or "").strip().lower()
+        with self._query("expertise"), self._lock.read():
+            matched = sorted(
+                ref for ref in self._incident
+                if ref.kind in (TECHNOLOGY, TOWER)
+                and needle and needle in ref.key
+            )
+            deal_evidence: Dict[str, Set[str]] = {}
+            for ref in matched:
+                for edge in self._incident.get(ref, {}).values():
+                    if edge.kind in (USES, IN_SCOPE):
+                        deal_evidence.setdefault(
+                            edge.deal_id, set()
+                        ).add(f"{ref.kind}:{ref.key}")
+            per_person: Dict[NodeRef, Dict[str, set]] = {}
+            for deal_id, evidence in deal_evidence.items():
+                for edge in self._deal_members_locked(deal_id):
+                    for item in evidence:
+                        self._collect(per_person, edge, extra=item)
+            people = self._evidence_list(per_person)
+            return ExpertiseAnswer(
+                query=topic,
+                matched=[f"{ref.kind}:{ref.key}" for ref in matched],
+                people=people[:limit],
+            )
+
+    def team_overlap(
+        self, person: str, limit: Optional[int] = None
+    ) -> TeamOverlapAnswer:
+        """Colleagues of ``person`` ranked by Jaccard deal overlap.
+
+        Distinguishes "worked every deal together" from "crossed paths
+        once" — the ranking the flat contact lists cannot express.
+        """
+        with self._query("team_overlap"), self._lock.read():
+            refs = self._resolve_persons_locked(person)
+            my_deals: Set[str] = set()
+            for ref in refs:
+                my_deals.update(
+                    edge.deal_id for edge in self._memberships_locked(ref)
+                )
+            per_person: Dict[NodeRef, Dict[str, set]] = {}
+            for deal_id in my_deals:
+                for edge in self._deal_members_locked(deal_id):
+                    if edge.source in refs:
+                        continue
+                    self._collect(per_person, edge)
+            colleagues = []
+            for ref, slot in per_person.items():
+                their_deals = {
+                    edge.deal_id
+                    for edge in self._memberships_locked(ref)
+                }
+                union = my_deals | their_deals
+                shared = slot["deals"]
+                colleagues.append(Colleague(
+                    key=ref.key,
+                    name=self._person_name_locked(ref),
+                    shared_deals=sorted(shared),
+                    roles=sorted(slot["roles"]),
+                    provenance=sorted(slot["provenance"]),
+                    overlap=len(shared) / len(union) if union else 0.0,
+                ))
+            colleagues.sort(
+                key=lambda c: (
+                    -c.overlap, -len(c.shared_deals), c.name, c.key
+                )
+            )
+            return TeamOverlapAnswer(
+                query=person,
+                persons=[ref.key for ref in refs],
+                colleagues=colleagues[:limit],
+            )
+
+    def _evidence_list(
+        self, per_person: Dict[NodeRef, Dict[str, set]]
+    ) -> List[PersonEvidence]:
+        people = [
+            PersonEvidence(
+                key=ref.key,
+                name=self._person_name_locked(ref),
+                deals=sorted(slot["deals"]),
+                roles=sorted(slot["roles"]),
+                provenance=sorted(slot["provenance"]),
+                evidence=sorted(slot["evidence"]),
+            )
+            for ref, slot in per_person.items()
+        ]
+        people.sort(key=lambda p: (-len(p.deals), p.name, p.key))
+        return people
+
+    def _query(self, kind: str):
+        registry = get_registry()
+        registry.inc("graph.queries")
+        registry.inc(f"graph.queries.{kind}")
+        return registry.timer("graph.query_seconds")
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical JSON-serializable snapshot (sorted deals/edges)."""
+        with self._lock.read():
+            edges: List[Edge] = []
+            for deal_edges in self._deal_edges.values():
+                edges.extend(deal_edges)
+            edges.sort(key=Edge.sort_key)
+            return {
+                "deals": {
+                    deal_id: {
+                        k: self._deal_attrs[deal_id][k]
+                        for k in sorted(self._deal_attrs[deal_id])
+                    }
+                    for deal_id in sorted(self._deal_attrs)
+                },
+                "edges": [edge.to_dict() for edge in edges],
+            }
+
+    def dumps(self) -> str:
+        """The canonical on-disk document (checksum + payload)."""
+        payload = self.to_payload()
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        checksum = hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        document = {
+            "format": _GRAPH_FORMAT,
+            "version": _GRAPH_VERSION,
+            "checksum": checksum,
+            "graph": payload,
+        }
+        return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        """Atomically persist the graph (temp + fsync + rename)."""
+        atomic_write_text(path, self.dumps())
+
+    @classmethod
+    def load(cls, path: str, verify: bool = True) -> "EntityGraph":
+        """Read a :meth:`save` file back; raises StorageError on damage."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise StorageError(
+                f"cannot read entity graph {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"invalid entity graph {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != _GRAPH_FORMAT
+        ):
+            raise StorageError(f"{path} is not an entity-graph file")
+        if document.get("version") != _GRAPH_VERSION:
+            raise StorageError(
+                f"unsupported entity-graph version "
+                f"{document.get('version')!r} in {path}"
+            )
+        payload = document.get("graph")
+        if not isinstance(payload, dict):
+            raise StorageError(f"{path} has no graph payload")
+        if verify:
+            canonical = json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":"))
+            checksum = hashlib.blake2b(
+                canonical.encode("utf-8"), digest_size=16
+            ).hexdigest()
+            if checksum != document.get("checksum"):
+                raise StorageError(
+                    f"entity graph {path} failed checksum verification"
+                )
+        graph = cls()
+        deals = payload.get("deals") or {}
+        by_deal: Dict[str, List[Edge]] = {
+            deal_id: [] for deal_id in deals
+        }
+        for raw in payload.get("edges") or []:
+            edge = Edge.from_dict(raw)
+            by_deal.setdefault(edge.deal_id, []).append(edge)
+        with graph._lock.write():
+            for deal_id in sorted(by_deal):
+                attrs = deals.get(deal_id) or {"name": deal_id}
+                graph._deal_attrs[deal_id] = dict(attrs)
+                edges = by_deal[deal_id]
+                graph._deal_edges[deal_id] = edges
+                for edge in edges:
+                    graph._incident.setdefault(
+                        edge.source, {}
+                    )[id(edge)] = edge
+                    graph._incident.setdefault(
+                        edge.target, {}
+                    )[id(edge)] = edge
+                    if edge.kind == MEMBER_OF:
+                        graph._index_name(edge)
+            graph._epoch.increment()
+            graph._set_gauges_locked()
+        return graph

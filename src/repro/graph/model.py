@@ -1,0 +1,171 @@
+"""Typed nodes, edges and provenance for the EIL entity graph.
+
+The graph's vocabulary is deliberately small — it mirrors what the
+offline pipeline actually extracts (paper Figures 3 and 6):
+
+* **person** nodes, identified by the same key the contact rollup
+  de-duplicates on (email when known, order-insensitive name key
+  otherwise), so one person seen across many deals collapses to one
+  node exactly when the per-deal contact lists would have merged the
+  mentions;
+* **deal** nodes (business activities);
+* **tower** nodes (service-scope concepts from the taxonomy);
+* **technology** nodes (technology-solution terms from the synopsis).
+
+Edges are directed, typed, and *provenance-carrying*: every edge cites
+the organized-information row it was materialized from (a ``contacts``
+row, a ``deal_scopes`` row, a ``technologies`` row), so a graph answer
+can always be traced back to the contact record or synopsis row that
+justifies it — the graph never asserts anything the relational store
+does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.text.normalize import name_key, normalize_email
+
+__all__ = [
+    "PERSON",
+    "DEAL",
+    "TOWER",
+    "TECHNOLOGY",
+    "MEMBER_OF",
+    "IN_SCOPE",
+    "USES",
+    "NodeRef",
+    "Provenance",
+    "Edge",
+    "person_key",
+]
+
+#: Node kinds.
+PERSON = "person"
+DEAL = "deal"
+TOWER = "tower"
+TECHNOLOGY = "technology"
+
+#: Edge kinds: person -> deal, deal -> tower, deal -> technology.
+MEMBER_OF = "member_of"
+IN_SCOPE = "in_scope"
+USES = "uses"
+
+
+@dataclass(frozen=True, order=True)
+class NodeRef:
+    """A typed node identity: ``(kind, key)``.
+
+    Attributes:
+        kind: One of :data:`PERSON`, :data:`DEAL`, :data:`TOWER`,
+            :data:`TECHNOLOGY`.
+        key: The canonical identity within the kind — deal id, lowered
+            tower name, lowered technology term, or the contact
+            de-duplication key for people (see :func:`person_key`).
+    """
+
+    kind: str
+    key: str
+
+
+@dataclass(frozen=True, order=True)
+class Provenance:
+    """Where an edge came from: one organized-information row.
+
+    Attributes:
+        table: The source table (``contacts``, ``deal_scopes``,
+            ``technologies``).
+        row_id: The row identity within the table — the primary key
+            when the table has one, else ``"<deal_id>#<rank>"`` for the
+            rank-keyed scope rows.
+    """
+
+    table: str
+    row_id: str
+
+    def cite(self) -> str:
+        """Human-readable citation, e.g. ``contacts:17``."""
+        return f"{self.table}:{self.row_id}"
+
+
+@dataclass
+class Edge:
+    """One directed, typed, provenance-carrying edge.
+
+    Attributes:
+        kind: :data:`MEMBER_OF`, :data:`IN_SCOPE` or :data:`USES`.
+        source: Tail node.
+        target: Head node.
+        deal_id: The business activity this edge belongs to; every edge
+            is owned by exactly one deal (its provenance row is
+            deal-scoped), which is what makes ``remove_deal`` O(deal).
+        provenance: The organized-information row the edge cites.
+        attrs: Edge payload — ``member_of`` carries the contact row's
+            display name, role, category and validation flag;
+            ``in_scope`` carries weight and rank; ``uses`` carries the
+            technology's tower.
+    """
+
+    kind: str
+    source: NodeRef
+    target: NodeRef
+    deal_id: str
+    provenance: Provenance
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def sort_key(self) -> tuple:
+        """Canonical ordering, used by serialization for bit-identity."""
+        return (
+            self.deal_id,
+            self.kind,
+            self.source,
+            self.target,
+            self.provenance,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (attrs keys sorted)."""
+        return {
+            "kind": self.kind,
+            "source": [self.source.kind, self.source.key],
+            "target": [self.target.kind, self.target.key],
+            "deal_id": self.deal_id,
+            "provenance": [self.provenance.table, self.provenance.row_id],
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Edge":
+        """Inverse of :meth:`to_dict`."""
+        source = payload["source"]
+        target = payload["target"]
+        provenance = payload["provenance"]
+        return cls(
+            kind=str(payload["kind"]),
+            source=NodeRef(str(source[0]), str(source[1])),
+            target=NodeRef(str(target[0]), str(target[1])),
+            deal_id=str(payload["deal_id"]),
+            provenance=Provenance(str(provenance[0]), str(provenance[1])),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+def person_key(name: str, email: str = "") -> Optional[str]:
+    """The person-node key for a (name, email) pair.
+
+    Mirrors ``ContactRollup._dedup_key`` exactly: email is the
+    strongest identity, the order-insensitive name key is the fallback.
+    Keeping the two keyings identical is what makes the graph's person
+    nodes provably consistent with the per-deal contact lists — a
+    person merges across deals in the graph exactly when the rollup
+    would have merged the mentions within a deal.  Returns None when
+    neither field identifies anyone.
+    """
+    email = normalize_email(email or "")
+    if email:
+        return f"email:{email}"
+    key = name_key(name or "")
+    if key:
+        return f"name:{key}"
+    return None

@@ -129,6 +129,20 @@ class EILServer:
             *args, deadline_seconds=deadline_seconds, **kwargs
         ).result()
 
+    def graph_query(self, *args,
+                    deadline_seconds: Optional[float] = None,
+                    **kwargs):
+        """Entity-graph people & role query through the front door.
+
+        Graph traversals share the same worker pool and admission
+        bound as form queries — under overload a ``worked_with`` burst
+        sheds exactly like a search burst, and ``serving.*`` metrics
+        count both uniformly.
+        """
+        return self.submit_graph_query(
+            *args, deadline_seconds=deadline_seconds, **kwargs
+        ).result()
+
     def submit_search(
         self, *args, deadline_seconds: Optional[float] = None, **kwargs
     ) -> "Future":
@@ -143,6 +157,15 @@ class EILServer:
         """Async variant of :meth:`keyword_search`."""
         return self._admit(
             lambda: self.eil.keyword_search(*args, **kwargs),
+            deadline_seconds,
+        )
+
+    def submit_graph_query(
+        self, *args, deadline_seconds: Optional[float] = None, **kwargs
+    ) -> "Future":
+        """Async variant of :meth:`graph_query`."""
+        return self._admit(
+            lambda: self.eil.graph_query(*args, **kwargs),
             deadline_seconds,
         )
 

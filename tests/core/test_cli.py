@@ -27,6 +27,24 @@ class TestParser:
         assert args.seed == 7
         assert args.deals == 4
 
+    def test_graph_flags(self):
+        args = build_parser().parse_args(
+            ["graph", "--worked-with", "Sam White", "--limit", "2"]
+        )
+        assert args.command == "graph"
+        assert args.worked_with == "Sam White"
+        assert args.limit == 2
+
+    def test_graph_traversals_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["graph", "--role", "CSE", "--expertise", "VPN"]
+            )
+
+    def test_graph_requires_a_traversal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph"])
+
 
 class TestCommands:
     def test_search_tower(self, capsys):
@@ -75,3 +93,65 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "MQ1" in out and "MQ4" in out
+
+
+class TestGraphCommand:
+    def _first_person(self):
+        from repro.corpus import CorpusConfig, CorpusGenerator
+
+        corpus = CorpusGenerator(
+            CorpusConfig(seed=2008, n_deals=3, docs_per_deal=15)
+        ).generate()
+        return corpus.deals[0].team[0].person.full_name
+
+    def test_worked_with(self, capsys):
+        person = self._first_person()
+        code = main(FAST + ["graph", "--worked-with", person])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graph:worked-with" in out
+        assert "colleagues:" in out
+        assert "cites: contacts:" in out
+
+    def test_role_capacity_canonicalizes(self, capsys):
+        code = main(FAST + ["graph", "--role", "cross tower TSA"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ("canonical role: "
+                "Cross Tower Technical Solution Architect") in out
+
+    def test_unknown_person_exits_nonzero(self, capsys):
+        code = main(FAST + ["graph", "--worked-with", "Zed Nobody"])
+        assert code == 1
+        assert "no person matching" in capsys.readouterr().out
+
+    def test_json_answer_is_parseable(self, capsys):
+        import json
+
+        person = self._first_person()
+        code = main(FAST + ["graph", "--worked-with", person,
+                            "--limit", "2", "--json"])
+        assert code == 0
+        answer = json.loads(capsys.readouterr().out)
+        assert set(answer) == {"query", "persons", "deals", "colleagues"}
+        assert len(answer["colleagues"]) <= 2
+
+    def test_graph_stats(self, capsys):
+        code = main(FAST + ["graph", "--graph-stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deals: 3" in out
+        assert "node person:" in out
+        assert "edge member_of:" in out
+
+    def test_cold_start_from_index_dir(self, tmp_path, capsys):
+        code = main(FAST + ["persist", str(tmp_path)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(FAST + ["graph", "--index-dir", str(tmp_path),
+                            "--graph-stats", "--json"])
+        assert code == 0
+        import json
+
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["deals"] == 3

@@ -1,0 +1,220 @@
+"""ContactRollup edge cases feeding the graph (satellite coverage).
+
+Each scenario drives the real Figure 3 pipeline — roster documents →
+SocialNetworkingAnnotator → ContactRollup → organized store — then
+materializes the entity graph from the stored rows and asserts the
+membership edges match the rolled-up contact list *exactly*: one edge
+per row, same identity key, same display name, correct citations.
+"""
+
+import pytest
+
+from repro.annotators import (
+    ContactRollup,
+    SocialNetworkingAnnotator,
+    register_eil_types,
+)
+from repro.core.organized import OrganizedInformation
+from repro.corpus import Person
+from repro.docmodel import DocumentParser, Sheet, Spreadsheet
+from repro.graph import EntityGraph, index_deal_from_organized
+from repro.graph.model import MEMBER_OF, person_key
+from repro.intranet import PersonnelDirectory
+from repro.uima import CollectionProcessingEngine, TypeSystem
+
+
+@pytest.fixture
+def parser():
+    return DocumentParser(register_eil_types(TypeSystem()))
+
+
+def roster_doc(rows, deal="d1"):
+    return Spreadsheet(
+        doc_id=f"{deal}/roster", title="Deal Team Roster", deal_id=deal,
+        sheets=(Sheet("Team", ("Name", "Role", "Email", "Phone",
+                               "Organization"), tuple(rows)),),
+    )
+
+
+def run_pipeline(parser, docs, directory=None):
+    """Roster docs → rollup → organized rows → entity graph."""
+    rollup = ContactRollup(directory)
+    cpe = CollectionProcessingEngine(SocialNetworkingAnnotator(),
+                                     [rollup])
+    report = cpe.run(parser.to_cas(d) for d in docs)
+    by_deal = report.consumer_results["contact-rollup"]
+    organized = OrganizedInformation()
+    graph = EntityGraph()
+    for deal_id in sorted(by_deal):
+        organized.store_deal_context(deal_id, {"Deal Name": deal_id})
+        organized.store_contacts(deal_id, by_deal[deal_id])
+        index_deal_from_organized(graph, organized, deal_id)
+    return by_deal, organized, graph
+
+
+def assert_edges_match_rows(graph, organized, deal_id):
+    """The membership edges ARE the contact list, row for row."""
+    rows = organized.contacts_of(deal_id)
+    edges = [
+        e for e in graph._deal_edges.get(deal_id, [])
+        if e.kind == MEMBER_OF
+    ]
+    by_cite = {e.provenance.cite(): e for e in edges}
+    keyed_rows = [
+        row for row in rows
+        if person_key(str(row["name"] or ""),
+                      str(row["email"] or "")) is not None
+    ]
+    assert len(edges) == len(keyed_rows)
+    for row in keyed_rows:
+        edge = by_cite[f"contacts:{row['contact_id']}"]
+        assert edge.source.key == person_key(
+            str(row["name"] or ""), str(row["email"] or "")
+        )
+        assert edge.attrs["name"] == (row["name"] or row["email"])
+        assert edge.attrs["role"] == (row["role"] or "")
+
+
+class TestNameKeyCollisionAcrossDeals:
+    def test_same_name_key_merges_to_one_node(self, parser):
+        """No-email mentions of one name across deals share one node."""
+        docs = [
+            roster_doc([("Sam White", "CSE", "", "", "ABC")], "d1"),
+            roster_doc([("White, Sam", "TSA", "", "", "ABC")], "d2"),
+        ]
+        by_deal, organized, graph = run_pipeline(parser, docs)
+        assert len(by_deal["d1"]) == 1 and len(by_deal["d2"]) == 1
+        # One person node, two membership edges, two deals.
+        assert graph.stats()["nodes_by_kind"]["person"] == 1
+        answer = graph.worked_with("Sam White")
+        assert answer.deals == ["d1", "d2"]
+        for deal_id in ("d1", "d2"):
+            assert_edges_match_rows(graph, organized, deal_id)
+
+    def test_email_and_name_rows_stay_distinct_nodes(self, parser):
+        """An email identity never merges with a bare name identity —
+        the graph claims no more than the rollup proved."""
+        docs = [
+            roster_doc([("Sam White", "CSE", "sam.white@abc.com", "",
+                         "ABC")], "d1"),
+            roster_doc([("Sam White", "CSE", "", "", "ABC")], "d2"),
+        ]
+        _, organized, graph = run_pipeline(parser, docs)
+        assert graph.stats()["nodes_by_kind"]["person"] == 2
+        # A name query still resolves both candidates (MQ2 recall)...
+        answer = graph.worked_with("Sam White")
+        assert len(answer.persons) == 2
+        assert answer.deals == ["d1", "d2"]
+        # ...while the email query is precise.
+        precise = graph.worked_with("sam.white@abc.com")
+        assert precise.deals == ["d1"]
+        for deal_id in ("d1", "d2"):
+            assert_edges_match_rows(graph, organized, deal_id)
+
+
+class TestDirectoryRefresh:
+    def test_refresh_overwrites_fields_without_splitting_identity(
+        self, parser
+    ):
+        """Step 13's refresh rewrites the display fields; the graph
+        keys on email, so the refreshed record stays the same node."""
+        directory = PersonnelDirectory()
+        directory.add_person(
+            Person("Samuel", "White", "ABC Corporation",
+                   "sam.white@abc.com", "+1-914-555-7777")
+        )
+        docs = [
+            roster_doc([("Sam White", "CSE", "sam.white@abc.com",
+                         "(914) 555-0001", "")], "d1"),
+        ]
+        by_deal, organized, graph = run_pipeline(parser, docs,
+                                                 directory)
+        record = by_deal["d1"][0]
+        assert record.validated is True
+        assert record.name == "Samuel White"
+        # The edge carries the refreshed row verbatim.
+        answer = graph.role_capacity(record.role)
+        assert [p.name for p in answer.people] == ["Samuel White"]
+        assert_edges_match_rows(graph, organized, "d1")
+
+    def test_refresh_does_not_split_across_deals(self, parser):
+        """One deal validated, one not: same email, one person node."""
+        directory = PersonnelDirectory()
+        directory.add_person(
+            Person("Samuel", "White", "ABC", "sam.white@abc.com", "x")
+        )
+        validated_docs = [
+            roster_doc([("Sam White", "CSE", "sam.white@abc.com", "",
+                         "")], "d1"),
+        ]
+        plain_docs = [
+            roster_doc([("Sam White", "CSE", "sam.white@abc.com", "",
+                         "")], "d2"),
+        ]
+        rollup_a = run_pipeline(parser, validated_docs, directory)
+        rollup_b = run_pipeline(parser, plain_docs)
+        organized = OrganizedInformation()
+        graph = EntityGraph()
+        organized.store_deal_context("d1", {"Deal Name": "d1"})
+        organized.store_contacts("d1", rollup_a[0]["d1"])
+        organized.store_deal_context("d2", {"Deal Name": "d2"})
+        organized.store_contacts("d2", rollup_b[0]["d2"])
+        for deal_id in ("d1", "d2"):
+            index_deal_from_organized(graph, organized, deal_id)
+        assert graph.stats()["nodes_by_kind"]["person"] == 1
+        answer = graph.worked_with("sam.white@abc.com")
+        assert answer.deals == ["d1", "d2"]
+        # Both spellings resolve to the single email-keyed node —
+        # refreshed "Samuel White" and extracted "Sam White" alike.
+        for spelling in ("Samuel White", "Sam White"):
+            resolved = graph.worked_with(spelling)
+            assert resolved.persons == ["email:sam.white@abc.com"]
+        assert_edges_match_rows(graph, organized, "d1")
+        assert_edges_match_rows(graph, organized, "d2")
+
+
+class TestEmailOnlyContact:
+    def test_email_without_name_is_kept_and_keyed(self, parser):
+        """A bare address still yields a person node keyed by email,
+        with the address standing in for its display name.
+
+        ``helpdesk@…`` defeats the first.last naming convention, so
+        the annotator emits a Person with an email and no name — the
+        rollup keeps it, and the graph keys it by email.
+        """
+        from repro.docmodel import EmailMessage
+
+        docs = [
+            EmailMessage(
+                doc_id="e1", title="t", deal_id="d1",
+                sender="helpdesk@abc-corp.com",
+                recipients=("sam.white@abc.com",),
+                subject="s", body="b",
+            ),
+            EmailMessage(
+                doc_id="e2", title="t", deal_id="d2",
+                sender="helpdesk@abc-corp.com",
+                recipients=("ann.gray@abc.com",),
+                subject="s", body="b",
+            ),
+        ]
+        by_deal, organized, graph = run_pipeline(parser, docs)
+        anon_rows = [
+            row
+            for deal_id in by_deal
+            for row in organized.contacts_of(deal_id)
+            if not row["name"]
+        ]
+        assert anon_rows, "email-only contact was dropped"
+        answer = graph.worked_with("helpdesk@abc-corp.com")
+        assert answer.persons == ["email:helpdesk@abc-corp.com"]
+        assert answer.deals == ["d1", "d2"]
+        # With no name anywhere, the display falls back to the email.
+        colleagues = graph.worked_with("sam.white@abc.com").colleagues
+        helpdesk = next(
+            c for c in colleagues
+            if c.key == "email:helpdesk@abc-corp.com"
+        )
+        assert helpdesk.name == "helpdesk@abc-corp.com"
+        for deal_id in by_deal:
+            assert_edges_match_rows(graph, organized, deal_id)

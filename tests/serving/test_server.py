@@ -64,6 +64,13 @@ class GatedSystem:
         assert self.gate.wait(10), "gate never opened"
         return ("keyword", query)
 
+    def graph_query(self, query):
+        with self._lock:
+            self.calls += 1
+        self.started.release()
+        assert self.gate.wait(10), "gate never opened"
+        return ("graph", query)
+
 
 class TestPassThrough:
     def test_search_returns_the_result(self, registry):
@@ -75,6 +82,25 @@ class TestPassThrough:
     def test_keyword_search_returns_the_result(self, registry):
         with EILServer(GatedSystem()) as server:
             assert server.keyword_search("q") == ("keyword", "q")
+
+    def test_graph_query_returns_the_result(self, registry):
+        with EILServer(GatedSystem()) as server:
+            assert server.graph_query("gq") == ("graph", "gq")
+        assert registry.counters["serving.completed"].value == 1
+
+    def test_graph_query_passes_admission_control(self, registry):
+        """Graph traversals shed exactly like searches under load."""
+        system = GatedSystem()
+        system.gate.clear()
+        with EILServer(system, max_concurrency=1,
+                       queue_depth=0) as server:
+            first = server.submit_graph_query("gq1")
+            assert system.started.acquire(timeout=10)
+            with pytest.raises(ServerOverloadedError):
+                server.submit_graph_query("gq2")
+            system.gate.set()
+            assert first.result(timeout=10) == ("graph", "gq1")
+        assert registry.counters["serving.shed"].value == 1
 
     def test_validates_sizing(self, registry):
         with pytest.raises(ValueError):

@@ -1,15 +1,19 @@
 """Documentation quality gates.
 
-Three checks keep the docs from rotting:
+Four checks keep the docs from rotting:
 
 * every module under ``src/repro`` and ``benchmarks/`` carries a module
   docstring (empty ``__init__.py`` re-export stubs are exempt only if
   genuinely empty);
-* every path-looking reference in ``README.md`` points at something
-  that exists (bare ``*.py`` names may live in ``examples/``);
-* the two operations documents exist and still name the ladder's
-  metric vocabulary, so renaming a metric without updating the runbook
-  fails here.
+* every path-looking reference in ``README.md`` and ``docs/*.md``
+  points at something that exists (bare ``*.py`` names may live in
+  ``examples/``);
+* the operations documents exist and still name the ladder's and the
+  graph's metric vocabulary, so renaming a metric without updating the
+  runbook fails here;
+* every ``--flag`` the query cookbook (``docs/QUERIES.md``) shows is
+  actually accepted by the CLI parser, so the cookbook cannot drift
+  from ``repro.cli``.
 """
 
 import ast
@@ -49,24 +53,57 @@ _PATH_RE = re.compile(
 )
 
 
-def _readme_path_refs():
-    text = (REPO_ROOT / "README.md").read_text()
+def _path_refs(path):
+    text = path.read_text()
     return sorted(
         {ref for ref in _PATH_RE.findall(text) if "*" not in ref}
     )
 
 
+def _readme_path_refs():
+    return _path_refs(REPO_ROOT / "README.md")
+
+
+def _doc_files():
+    return [REPO_ROOT / "README.md"] + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+
+
+# Docs also name generated artifacts (graph.json, seg-*.rsg) and
+# module basenames in running prose (engine.py "in repro.search");
+# only repo-anchored references are checkable.
+_ANCHORS = ("src/", "docs/", "tests/", "benchmarks/", "examples/")
+
+
+def _checkable(ref):
+    if "/" in ref:
+        return ref.startswith(_ANCHORS)
+    return ref.endswith((".md", ".py"))
+
+
 class TestReadmeReferences:
-    def test_readme_mentions_only_existing_paths(self):
+    @pytest.mark.parametrize(
+        "doc", _doc_files(), ids=lambda p: p.name
+    )
+    def test_docs_mention_only_existing_paths(self, doc):
         broken = []
-        for ref in _readme_path_refs():
+        for ref in _path_refs(doc):
+            if not _checkable(ref):
+                continue
             candidates = [REPO_ROOT / ref]
             if "/" not in ref:
+                # Bare module names may live in examples/ (README
+                # convention) or anywhere in the source tree (the
+                # architecture doc names modules inside a layer's
+                # context: "engine.py" under the search layer).
                 candidates.append(REPO_ROOT / "examples" / ref)
+                candidates.extend(SRC.rglob(ref))
+                candidates.extend(BENCHMARKS.glob(ref))
             if not any(c.exists() for c in candidates):
                 broken.append(ref)
         assert not broken, (
-            "README.md references nonexistent paths: " + ", ".join(broken)
+            f"{doc.name} references nonexistent paths: " + ", ".join(broken)
         )
 
     def test_the_regex_actually_finds_references(self):
@@ -98,6 +135,10 @@ class TestOperationsDocs:
             "policy_version",
             "epoch",
             "max_failure_ratio",
+            # The entity-graph contracts (PR 9):
+            "member_of",
+            "person_key",
+            "graph.json",
         ):
             assert needle in architecture, (
                 f"docs/ARCHITECTURE.md no longer mentions {needle!r}"
@@ -113,6 +154,19 @@ class TestOperationsDocs:
             "query.degraded",
             "query.cache.bypassed",
             "analysis.documents_quarantined",
+        ):
+            assert metric in operations, (
+                f"docs/OPERATIONS.md no longer documents {metric!r}"
+            )
+
+    def test_operations_names_the_graph_metrics(self, operations):
+        for metric in (
+            "graph.nodes",
+            "graph.edges",
+            "graph.deals_indexed",
+            "graph.deals_removed",
+            "graph.queries",
+            "graph.query_seconds",
         ):
             assert metric in operations, (
                 f"docs/OPERATIONS.md no longer documents {metric!r}"
@@ -134,3 +188,56 @@ class TestOperationsDocs:
     def test_docs_are_substantial(self, architecture, operations):
         assert len(architecture) > 2000
         assert len(operations) > 2000
+
+
+_FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z-]+)")
+
+
+def _cli_option_strings():
+    """Every option string the CLI accepts, global + all subcommands."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    options = set()
+    for action in parser._actions:
+        options.update(action.option_strings)
+        if isinstance(action, argparse._SubParsersAction):
+            for subparser in action.choices.values():
+                for sub_action in subparser._actions:
+                    options.update(sub_action.option_strings)
+    return options
+
+
+class TestQueriesCookbook:
+    @pytest.fixture(scope="class")
+    def cookbook(self):
+        path = REPO_ROOT / "docs" / "QUERIES.md"
+        assert path.exists(), "docs/QUERIES.md is missing"
+        return path.read_text()
+
+    def test_covers_every_meta_query_class(self, cookbook):
+        for needle in ("MQ1", "MQ2", "MQ3", "MQ4",
+                       "worked-with", "role", "expertise", "overlap",
+                       "graph-stats"):
+            assert needle in cookbook, (
+                f"docs/QUERIES.md no longer covers {needle!r}"
+            )
+
+    def test_every_flag_shown_exists_in_the_cli(self, cookbook):
+        known = _cli_option_strings()
+        shown = set(_FLAG_RE.findall(cookbook))
+        assert shown, "the cookbook shows no CLI flags at all?"
+        unknown = sorted(shown - known)
+        assert not unknown, (
+            "docs/QUERIES.md shows flags the CLI does not accept: "
+            + ", ".join(unknown)
+        )
+
+    def test_readme_links_the_cookbook(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/QUERIES.md" in readme
+
+    def test_cookbook_is_substantial(self, cookbook):
+        assert len(cookbook) > 2000
