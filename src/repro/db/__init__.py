@@ -37,6 +37,7 @@ from repro.db.persistence import (
     load_database,
     loads_database,
 )
+from repro.db.plan import PlannerOptions, SelectPlan
 from repro.db.query import (
     AggregateCall,
     Join,
@@ -47,7 +48,7 @@ from repro.db.query import (
     TableRef,
 )
 from repro.db.schema import Column, ForeignKey, TableSchema
-from repro.db.sql import parse
+from repro.db.sql import Explain, parse
 from repro.db.table import Table
 from repro.db.types import DataType
 
@@ -81,6 +82,9 @@ __all__ = [
     "Join",
     "OrderItem",
     "ResultSet",
+    "PlannerOptions",
+    "SelectPlan",
+    "Explain",
     "parse",
     "dump_database",
     "load_database",

@@ -21,21 +21,42 @@ mid-mutation.  Isolation is *per statement*, not per transaction
 (single-writer callers like the serving layer's mutation paths are the
 intended users); DDL and catalog lookups are the offline build's
 single-threaded domain and stay unlocked.
+
+Statement cache: ``execute(sql, params)`` keeps a bounded LRU of
+parsed statements keyed on the SQL text; SELECT entries also carry
+their prepared :class:`~repro.db.plan.SelectPlan`, so the hot synopsis
+read path parses and plans each query text once and then only executes.
+Entries are stamped with the database's DDL epoch — every CREATE/DROP
+TABLE and index creation (including indexes created directly on a
+:class:`~repro.db.table.Table`) bumps the epoch, so stale plans can
+never run against a changed catalog.  ``REPRO_DB_PLAN_CACHE`` controls
+capacity (``0`` disables, default 128); ``db.stmt_cache.*`` counters
+report hits, misses, evictions and epoch invalidations.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.concurrency import ReadWriteLock
-from repro.db.query import ResultSet, SelectStatement, execute_select
+from repro.db.plan import PlannerOptions, SelectPlan, plan_rowids
+from repro.db.query import (
+    ResultSet,
+    SelectStatement,
+    TableRef,
+    execute_select,
+)
 from repro.db.schema import ForeignKey, TableSchema
 from repro.db.sql import (
     CreateIndex,
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Insert,
     Statement,
     Update,
@@ -49,19 +70,122 @@ from repro.errors import (
     TransactionError,
 )
 from repro.faults import get_injector
+from repro.obs import get_registry
 
 __all__ = ["Database"]
+
+_DEFAULT_PLAN_CACHE = 128
+
+
+def _plan_cache_capacity(requested: Optional[int]) -> int:
+    """Resolve the statement-cache capacity (argument, else env)."""
+    if requested is not None:
+        return max(0, requested)
+    raw = os.environ.get("REPRO_DB_PLAN_CACHE", "").strip().lower()
+    if not raw:
+        return _DEFAULT_PLAN_CACHE
+    if raw in ("off", "false", "no"):
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return _DEFAULT_PLAN_CACHE
+
+
+class _CacheEntry:
+    """One cached statement: parse result, optional plan, DDL epoch."""
+
+    __slots__ = ("statement", "plan", "epoch")
+
+    def __init__(
+        self,
+        statement: Statement,
+        plan: Optional[SelectPlan],
+        epoch: int,
+    ) -> None:
+        self.statement = statement
+        self.plan = plan
+        self.epoch = epoch
+
+
+class _StatementCache:
+    """Bounded LRU of parsed statements + prepared plans, by SQL text.
+
+    Thread-safe: the serving layer executes SELECTs concurrently under
+    the database's read lock, so cache bookkeeping takes its own small
+    mutex.  Entries from an older DDL epoch are dropped on lookup and
+    counted as invalidations.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, sql: str, epoch: int, metrics: Any) -> Optional[_CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is None:
+                metrics.inc("db.stmt_cache.misses")
+                return None
+            if entry.epoch != epoch:
+                del self._entries[sql]
+                metrics.inc("db.stmt_cache.invalidations")
+                metrics.inc("db.stmt_cache.misses")
+                return None
+            self._entries.move_to_end(sql)
+            metrics.inc("db.stmt_cache.hits")
+            return entry
+
+    def store(self, sql: str, entry: _CacheEntry, metrics: Any) -> None:
+        with self._lock:
+            self._entries[sql] = entry
+            self._entries.move_to_end(sql)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                metrics.inc("db.stmt_cache.evictions")
 
 
 class Database:
     """An in-memory relational database."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        planner_options: Optional[PlannerOptions] = None,
+        plan_cache: Optional[int] = None,
+    ) -> None:
         self._tables: Dict[str, Table] = {}
         self._undo_log: Optional[
             List[Tuple[str, str, int, Optional[tuple], Optional[tuple]]]
         ] = None
         self._rw = ReadWriteLock()
+        self._planner_options = (
+            planner_options
+            if planner_options is not None
+            else PlannerOptions.from_env()
+        )
+        self._ddl_epoch = 0
+        capacity = _plan_cache_capacity(plan_cache)
+        self._stmt_cache = (
+            _StatementCache(capacity) if capacity > 0 else None
+        )
+
+    @property
+    def planner_options(self) -> PlannerOptions:
+        """The option set every SELECT in this database plans with."""
+        return self._planner_options
+
+    @property
+    def ddl_epoch(self) -> int:
+        """Monotonic catalog version; cached plans from older epochs
+        are invalid."""
+        return self._ddl_epoch
+
+    def _bump_ddl(self) -> None:
+        self._ddl_epoch += 1
 
     # -- catalog -----------------------------------------------------------
 
@@ -71,8 +195,9 @@ class Database:
             raise SchemaError(f"table {schema.name!r} already exists")
         for fk in schema.foreign_keys:
             self._validate_foreign_key(schema, fk)
-        table = Table(schema, journal=self._journal)
+        table = Table(schema, journal=self._journal, on_ddl=self._bump_ddl)
         self._tables[schema.name] = table
+        self._bump_ddl()
         return table
 
     def _validate_foreign_key(self, schema: TableSchema, fk: ForeignKey) -> None:
@@ -105,6 +230,7 @@ class Database:
                         f"{other.schema.name!r}"
                     )
         del self._tables[lowered]
+        self._bump_ddl()
 
     def table(self, name: str) -> Table:
         """Look up a table by name (case-insensitive)."""
@@ -235,11 +361,29 @@ class Database:
         so the offline populate stage never loses rows or tables to
         injection; what an armed ``db`` profile exercises is the
         online store outage the degradation ladder exists for.
+
+        Statements are cached by SQL text: a hit skips the parser, and
+        SELECT hits additionally reuse the prepared plan.  Entries are
+        invalidated when the DDL epoch moves.
         """
         if sql.lstrip()[:6].upper() == "SELECT":
             get_injector().check("db")
-        statement = parse(sql)
-        return self.execute_statement(statement, params)
+        cache = self._stmt_cache
+        if cache is None:
+            return self.execute_statement(parse(sql), params)
+        metrics = get_registry()
+        entry = cache.lookup(sql, self._ddl_epoch, metrics)
+        if entry is None:
+            statement = parse(sql)
+            plan = None
+            if isinstance(statement, SelectStatement):
+                plan = SelectPlan(self, statement, self._planner_options)
+            entry = _CacheEntry(statement, plan, self._ddl_epoch)
+            cache.store(sql, entry, metrics)
+        if entry.plan is not None:
+            with self._rw.read():
+                return entry.plan.execute(params)
+        return self.execute_statement(entry.statement, params)
 
     def execute_statement(
         self, statement: Statement, params: Sequence[Any] = ()
@@ -258,10 +402,10 @@ class Database:
                 return _rowcount(self._execute_insert(statement, params))
         if isinstance(statement, Update):
             with self._rw.write():
-                return _rowcount(self._execute_update(statement, params))
+                return _rowcount(*self._execute_update(statement, params))
         if isinstance(statement, Delete):
             with self._rw.write():
-                return _rowcount(self._execute_delete(statement, params))
+                return _rowcount(*self._execute_delete(statement, params))
         if isinstance(statement, CreateTable):
             self.create_table(statement.schema)
             return _rowcount(0)
@@ -276,7 +420,50 @@ class Database:
         if isinstance(statement, DropTable):
             self.drop_table(statement.table)
             return _rowcount(0)
+        if isinstance(statement, Explain):
+            return self._explain_statement(statement.statement, params)
         raise ProgrammingError(f"unsupported statement {statement!r}")
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Report the planner's choices for ``sql`` without mutating.
+
+        SELECTs are executed (they are side-effect free) so the report
+        includes runtime decisions — join strategy and build side
+        depend on actual cardinalities.  UPDATE/DELETE only run the
+        shared row-location planner and report the access path plus
+        the candidate row count.  The result has one ``plan`` column,
+        one line per row; the same lines are in ``ResultSet.plan``.
+        """
+        statement = parse(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        return self._explain_statement(statement, params)
+
+    def _explain_statement(
+        self, statement: Statement, params: Sequence[Any]
+    ) -> ResultSet:
+        if isinstance(statement, SelectStatement):
+            with self._rw.read():
+                result = execute_select(self, statement, params)
+            lines = list(result.plan)
+        elif isinstance(statement, (Update, Delete)):
+            table = self.table(statement.table)
+            where = (
+                statement.where.bind(params) if statement.where else None
+            )
+            lines = []
+            with self._rw.read():
+                candidates = list(
+                    plan_rowids(
+                        table, TableRef(statement.table), where, (), lines
+                    )
+                )
+            lines.append(f"candidate rows {len(candidates)}")
+        else:
+            lines = [f"ddl {type(statement).__name__.lower()}"]
+        return ResultSet(
+            ["plan"], [(line,) for line in lines], list(lines)
+        )
 
     def _execute_insert(self, statement: Insert, params: Sequence[Any]) -> int:
         table = self.table(statement.table)
@@ -311,18 +498,46 @@ class Database:
         self._check_fk_on_insert(table, values)
         return table.insert(values)
 
-    def _execute_update(self, statement: Update, params: Sequence[Any]) -> int:
-        table = self.table(statement.table)
-        where = statement.where.bind(params) if statement.where else None
+    def _locate_rows(
+        self,
+        table: Table,
+        table_name: str,
+        where: Optional[Any],
+        plan: List[str],
+    ) -> List[Tuple[int, tuple, Dict[str, Any]]]:
+        """Rows a bound WHERE matches, located through the planner.
+
+        Shared by UPDATE and DELETE: an indexed WHERE narrows the
+        candidates through the same access-path planner SELECT uses,
+        then the WHERE is re-applied to each candidate.  Candidates
+        are materialized in ascending-rowid order *before* any
+        mutation, preserving the seed's scan-then-mutate semantics.
+        """
         prefix = table.schema.name + "."
-        count = 0
-        for rowid, row in list(table.scan()):
-            context = {
-                prefix + c: v
-                for c, v in zip(table.schema.column_names, row)
-            }
+        columns = table.schema.column_names
+        candidates = sorted(
+            plan_rowids(table, TableRef(table_name), where, (), plan)
+        )
+        get_registry().inc("db.rows_scanned", len(candidates))
+        matched = []
+        for rowid in candidates:
+            row = table.row(rowid)
+            context = {prefix + c: v for c, v in zip(columns, row)}
             if where is not None and where.evaluate(context) is not True:
                 continue
+            matched.append((rowid, row, context))
+        return matched
+
+    def _execute_update(
+        self, statement: Update, params: Sequence[Any]
+    ) -> Tuple[int, List[str]]:
+        table = self.table(statement.table)
+        where = statement.where.bind(params) if statement.where else None
+        plan: List[str] = []
+        count = 0
+        for rowid, row, context in self._locate_rows(
+            table, statement.table, where, plan
+        ):
             changes = {
                 column: expr.bind(params).evaluate(context)
                 for column, expr in statement.assignments
@@ -332,24 +547,22 @@ class Database:
             self._check_fk_on_insert(table, merged)
             table.update(rowid, changes)
             count += 1
-        return count
+        return count, plan
 
-    def _execute_delete(self, statement: Delete, params: Sequence[Any]) -> int:
+    def _execute_delete(
+        self, statement: Delete, params: Sequence[Any]
+    ) -> Tuple[int, List[str]]:
         table = self.table(statement.table)
         where = statement.where.bind(params) if statement.where else None
-        prefix = table.schema.name + "."
+        plan: List[str] = []
         count = 0
-        for rowid, row in list(table.scan()):
-            context = {
-                prefix + c: v
-                for c, v in zip(table.schema.column_names, row)
-            }
-            if where is not None and where.evaluate(context) is not True:
-                continue
+        for rowid, row, _context in self._locate_rows(
+            table, statement.table, where, plan
+        ):
             self._check_fk_on_delete(table, row)
             table.delete(rowid)
             count += 1
-        return count
+        return count, plan
 
     def select(
         self, statement: SelectStatement, params: Sequence[Any] = ()
@@ -370,5 +583,5 @@ class Database:
         return f"Database(tables={self.table_names})"
 
 
-def _rowcount(count: int) -> ResultSet:
-    return ResultSet(["rowcount"], [(count,)])
+def _rowcount(count: int, plan: Optional[List[str]] = None) -> ResultSet:
+    return ResultSet(["rowcount"], [(count,)], plan or [])

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ProgrammingError
 
@@ -31,9 +31,13 @@ __all__ = [
     "Arithmetic",
     "FunctionCall",
     "RowContext",
+    "compile_expression",
 ]
 
 RowContext = Mapping[str, Any]
+
+# A compiled evaluator: (row context, statement params) -> value.
+CompiledExpr = Callable[[RowContext, Sequence[Any]], Any]
 
 
 class Expression:
@@ -421,3 +425,226 @@ def _as_bool(value: Any) -> Optional[bool]:
     if value is None:
         return None
     return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# Compilation: lower an Expression tree to one Python closure
+# ---------------------------------------------------------------------------
+
+
+def compile_expression(expression: Expression) -> CompiledExpr:
+    """Lower ``expression`` to a closure ``(row, params) -> value``.
+
+    The returned closure evaluates the same three-valued-logic semantics
+    as :meth:`Expression.evaluate` but without per-row dataclass
+    dispatch, and it reads ``?`` placeholders from ``params`` at call
+    time — so one compiled tree serves every execution of a cached
+    plan, whatever the bound parameters.
+
+    Each call returns *fresh* closures: a :class:`ColumnRef` closure
+    caches its resolved row-context key after the first row, which is
+    only sound while the closure stays at one evaluation site (row
+    contexts at a given pipeline position share their key set).
+    Compile an expression once per site, never share the result across
+    sites.
+
+    Unknown :class:`Expression` subclasses (e.g. aggregate calls, which
+    the executor handles in its grouping stage) fall back to
+    :meth:`~Expression.evaluate`, preserving their error behavior.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda row, params: value
+
+    if isinstance(expression, Parameter):
+        position = expression.position
+
+        def _param(row: RowContext, params: Sequence[Any]) -> Any:
+            if position >= len(params):
+                raise ProgrammingError(
+                    f"query expects at least {position + 1} parameter(s), "
+                    f"got {len(params)}"
+                )
+            return params[position]
+
+        return _param
+
+    if isinstance(expression, ColumnRef):
+        return _compile_column(expression)
+
+    if isinstance(expression, Comparison):
+        comparator = _COMPARATORS[expression.op]
+        op = expression.op
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+
+        def _compare(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None
+            try:
+                return comparator(a, b)
+            except TypeError as exc:
+                raise ProgrammingError(
+                    f"cannot compare {type(a).__name__} with "
+                    f"{type(b).__name__}"
+                ) from exc
+
+        return _compare
+
+    if isinstance(expression, LogicalAnd):
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+
+        def _and(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            a = _as_bool(left(row, params))
+            if a is False:
+                return False
+            b = _as_bool(right(row, params))
+            if b is False:
+                return False
+            if a is None or b is None:
+                return None
+            return True
+
+        return _and
+
+    if isinstance(expression, LogicalOr):
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+
+        def _or(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            a = _as_bool(left(row, params))
+            if a is True:
+                return True
+            b = _as_bool(right(row, params))
+            if b is True:
+                return True
+            if a is None or b is None:
+                return None
+            return False
+
+        return _or
+
+    if isinstance(expression, LogicalNot):
+        operand = compile_expression(expression.operand)
+
+        def _not(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            value = _as_bool(operand(row, params))
+            if value is None:
+                return None
+            return not value
+
+        return _not
+
+    if isinstance(expression, IsNull):
+        operand = compile_expression(expression.operand)
+        negated = expression.negated
+
+        def _is_null(row: RowContext, params: Sequence[Any]) -> bool:
+            is_null = operand(row, params) is None
+            return not is_null if negated else is_null
+
+        return _is_null
+
+    if isinstance(expression, InList):
+        operand = compile_expression(expression.operand)
+        choices = tuple(compile_expression(c) for c in expression.choices)
+        negated = expression.negated
+
+        def _in(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            value = operand(row, params)
+            if value is None:
+                return None
+            saw_null = False
+            for choice in choices:
+                candidate = choice(row, params)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _in
+
+    if isinstance(expression, Like):
+        operand = compile_expression(expression.operand)
+        pattern = compile_expression(expression.pattern)
+        negated = expression.negated
+
+        def _like(row: RowContext, params: Sequence[Any]) -> Optional[bool]:
+            value = operand(row, params)
+            pat = pattern(row, params)
+            if value is None or pat is None:
+                return None
+            if not isinstance(value, str) or not isinstance(pat, str):
+                raise ProgrammingError("LIKE requires text operands")
+            result = bool(_like_regex(pat).match(value))
+            return not result if negated else result
+
+        return _like
+
+    if isinstance(expression, Arithmetic):
+        operator = _ARITHMETIC[expression.op]
+        op = expression.op
+        left = compile_expression(expression.left)
+        right = compile_expression(expression.right)
+
+        def _arith(row: RowContext, params: Sequence[Any]) -> Any:
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None
+            if op == "/" and b == 0:
+                return None
+            try:
+                return operator(a, b)
+            except TypeError as exc:
+                raise ProgrammingError(
+                    f"invalid operands for {op!r}: "
+                    f"{type(a).__name__}, {type(b).__name__}"
+                ) from exc
+
+        return _arith
+
+    if isinstance(expression, FunctionCall):
+        fn = _FUNCTIONS[expression.name.lower()]
+        arg = compile_expression(expression.args[0])
+
+        def _call(row: RowContext, params: Sequence[Any]) -> Any:
+            value = arg(row, params)
+            if value is None:
+                return None
+            return fn(value)
+
+        return _call
+
+    # Unknown subclass (AggregateCall and future nodes): interpret.
+    return lambda row, params: expression.evaluate(row)
+
+
+def _compile_column(ref: ColumnRef) -> CompiledExpr:
+    key = ref.key
+    unqualified = ref.table is None
+    name = ref.name.lower()
+    resolved = [key]  # single-site cache of the matching context key
+
+    def _column(row: RowContext, params: Sequence[Any]) -> Any:
+        try:
+            return row[resolved[0]]
+        except KeyError:
+            pass
+        if unqualified:
+            suffix = "." + name
+            matches = [k for k in row if k.endswith(suffix)]
+            if len(matches) == 1:
+                resolved[0] = matches[0]
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise ProgrammingError(f"ambiguous column {name!r}")
+        raise ProgrammingError(f"unknown column {key!r}")
+
+    return _column

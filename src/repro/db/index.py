@@ -81,6 +81,11 @@ class Index:
         """Row ids whose indexed columns equal ``key`` exactly."""
         return set(self._entries.get(key, ()))
 
+    def lookup_sorted(self, key: Key) -> List[int]:
+        """Like :meth:`lookup` but ascending — the deterministic probe
+        order the executor's index joins and point lookups need."""
+        return sorted(self._entries.get(key, ()))
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._entries.values())
 

@@ -1,16 +1,25 @@
-"""Logical query model, planner and executor for SELECT statements.
+"""Logical query model and the naive reference executor for SELECT.
 
-The executor implements the relational operations EIL's synopsis queries
-need: scans with index-accelerated WHERE, inner/left joins (hash join for
-equi-joins, nested loop otherwise), grouping with the standard aggregate
-functions, HAVING, DISTINCT, ORDER BY and LIMIT/OFFSET.
+This module holds the statement model (:class:`SelectStatement` and
+friends), :class:`ResultSet`, and **two** executors:
 
-The planner is intentionally simple and transparent: it splits the WHERE
-clause into AND-ed conjuncts, looks for an equality or range predicate on
-a (leading column of an) index of the driving table, and uses it as a
-pre-filter.  The full WHERE clause is always re-applied afterwards, so
-index selection can never change results, only speed.  ``explain()``
-reports which access path was chosen; tests assert on it.
+* :func:`execute_select` — the production path.  It delegates to
+  :class:`repro.db.plan.SelectPlan`, the join-aware planner with plan
+  caching, predicate pushdown, compiled expressions and streaming
+  aggregation.
+* :func:`naive_execute_select` — the seed's transparent row-at-a-time
+  interpreter, kept verbatim as the reference implementation.  The
+  option-lattice equivalence suite proves every planner configuration
+  returns byte-identical rows/columns/ordering to this function; it is
+  also the honest baseline the ``bench_db.py`` ablation measures
+  speedups against.
+
+The founding contract is unchanged: access-path selection (and now
+every planner optimization) can never change results, only speed.  The
+WHERE clause is always fully re-applied — as a whole by the naive
+executor, conjunct-by-conjunct at pushed-down pipeline positions by the
+planner.  ``ResultSet.plan`` reports which paths were chosen; tests
+assert on it.
 """
 
 from __future__ import annotations
@@ -38,7 +47,6 @@ from repro.db.expr import (
 from repro.db.index import SortedIndex
 from repro.db.table import Table
 from repro.errors import ProgrammingError
-from repro.obs import get_registry
 
 __all__ = [
     "AggregateCall",
@@ -49,6 +57,7 @@ __all__ = [
     "SelectStatement",
     "ResultSet",
     "execute_select",
+    "naive_execute_select",
 ]
 
 
@@ -378,8 +387,28 @@ def execute_select(
 ) -> ResultSet:
     """Execute ``statement`` against ``catalog`` (a Database).
 
+    Production path: plans the statement with the catalog's
+    :class:`~repro.db.plan.PlannerOptions` and executes it.  Callers
+    that execute the same SQL repeatedly should go through
+    ``Database.execute``, which caches the plan by statement text.
+    """
+    from repro.db.plan import PlannerOptions, SelectPlan
+
+    options = getattr(catalog, "planner_options", None)
+    if options is None:
+        options = PlannerOptions.from_env()
+    return SelectPlan(catalog, statement, options).execute(params)
+
+
+def naive_execute_select(
+    catalog: Any, statement: SelectStatement, params: Sequence[Any] = ()
+) -> ResultSet:
+    """The seed row-at-a-time executor, kept as the reference.
+
     ``params`` replaces ``?`` placeholders positionally before planning,
-    so parameter values participate in index selection.
+    so parameter values participate in index selection.  This function
+    is pure with respect to observability — it records no metrics — so
+    equivalence tests can call it freely.
     """
     statement = statement.bind(params)
     plan: List[str] = []
@@ -394,9 +423,6 @@ def execute_select(
                                statement.where, plan)
     rows = _contexts_for(base_table, statement.from_ref, rowids)
     seen_names = [statement.from_ref.name]
-    metrics = get_registry()
-    metrics.inc("db.selects")
-    rows_scanned = len(rows)
 
     # JOINs.
     for join in statement.joins:
@@ -404,7 +430,6 @@ def execute_select(
         right_rows = _contexts_for(
             right_table, join.ref, (rid for rid, _ in right_table.scan())
         )
-        rows_scanned += len(right_rows)
         keys = _equi_join_keys(join.on, seen_names, join.ref.name)
         joined: List[Dict[str, Any]] = []
         if keys is not None:
@@ -481,8 +506,6 @@ def execute_select(
     if statement.limit is not None:
         output_rows = output_rows[: statement.limit]
 
-    metrics.inc("db.rows_scanned", rows_scanned)
-    metrics.inc("db.rows_returned", len(output_rows))
     return ResultSet(column_names, output_rows, plan)
 
 
@@ -656,6 +679,28 @@ def _order(
     return [out for _, out in paired]
 
 
+def grouped_key_position(
+    expression: Expression,
+    items: List[SelectItem],
+    column_names: List[str],
+) -> int:
+    """Resolve a grouped ORDER BY key to an output column position.
+
+    A key matches by output column name (aliases included) or by
+    structural equality with a select item's expression; anything else
+    is an error because grouped rows only carry output columns."""
+    if isinstance(expression, ColumnRef):
+        name = expression.name.lower()
+        if name in column_names:
+            return column_names.index(name)
+    for position, item in enumerate(items):
+        if item.expr == expression:
+            return position
+    raise ProgrammingError(
+        "ORDER BY with GROUP BY must reference an output column"
+    )
+
+
 def _order_grouped(
     order_by: Tuple[OrderItem, ...],
     output_rows: List[Tuple[Any, ...]],
@@ -663,21 +708,9 @@ def _order_grouped(
     column_names: List[str],
 ) -> List[Tuple[Any, ...]]:
     """Order grouped output; ORDER BY must reference output columns."""
-    def key_position(expression: Expression) -> int:
-        if isinstance(expression, ColumnRef):
-            name = expression.name.lower()
-            if name in column_names:
-                return column_names.index(name)
-        for position, item in enumerate(items):
-            if item.expr == expression:
-                return position
-        raise ProgrammingError(
-            "ORDER BY with GROUP BY must reference an output column"
-        )
-
     ordered = list(output_rows)
     for order_item in reversed(order_by):
-        position = key_position(order_item.expr)
+        position = grouped_key_position(order_item.expr, items, column_names)
         ordered.sort(
             key=lambda row: _NullsLast(row[position]),
             reverse=order_item.descending,

@@ -14,6 +14,8 @@ the synopsis queries use):
   [LIMIT n [OFFSET m]]``
 * ``UPDATE t SET col = expr, ... [WHERE expr]``
 * ``DELETE FROM t [WHERE expr]``
+* ``EXPLAIN <statement>`` — report the planner's access-path choices
+  without mutating anything
 
 Expressions support AND/OR/NOT, comparisons, LIKE, IN, IS [NOT] NULL,
 ``+ - * /``, scalar functions, the aggregates, ``?`` placeholders,
@@ -62,6 +64,7 @@ __all__ = [
     "Insert",
     "Update",
     "Delete",
+    "Explain",
 ]
 
 
@@ -86,7 +89,7 @@ _KEYWORDS = {
     "or", "not", "in", "is", "null", "like", "true", "false", "as", "create",
     "table", "index", "unique", "primary", "key", "foreign", "references",
     "drop", "insert", "into", "values", "update", "set", "delete", "default",
-    "count", "sum", "avg", "min", "max",
+    "count", "sum", "avg", "min", "max", "explain",
 }
 
 
@@ -174,8 +177,16 @@ class Delete:
     where: Optional[Expression] = None
 
 
+@dataclass(frozen=True)
+class Explain:
+    """Parsed EXPLAIN wrapping any other statement."""
+
+    statement: "Statement"
+
+
 Statement = Union[
-    SelectStatement, CreateTable, CreateIndex, DropTable, Insert, Update, Delete
+    SelectStatement, CreateTable, CreateIndex, DropTable, Insert, Update,
+    Delete, Explain,
 ]
 
 
@@ -243,6 +254,15 @@ class _Parser:
     # -- entry point -----------------------------------------------------
 
     def parse_statement(self) -> Statement:
+        if self._accept_keyword("explain"):
+            statement: Statement = Explain(self._parse_bare_statement())
+        else:
+            statement = self._parse_bare_statement()
+        if self._peek().kind != "eof":
+            self._fail("unexpected trailing input")
+        return statement
+
+    def _parse_bare_statement(self) -> Statement:
         statement: Statement
         if self._accept_keyword("select"):
             statement = self._parse_select()
@@ -260,8 +280,6 @@ class _Parser:
         else:
             self._fail("expected a SQL statement")
             raise AssertionError  # unreachable
-        if self._peek().kind != "eof":
-            self._fail("unexpected trailing input")
         return statement
 
     # -- SELECT -----------------------------------------------------------

@@ -37,16 +37,25 @@ class Table:
         schema: The validated :class:`TableSchema`.
         journal: Optional hook invoked after each successful mutation,
             used by :class:`repro.db.database.Database` for rollback.
+        on_ddl: Optional hook invoked after every index creation, used
+            by the database to bump its DDL epoch so cached statement
+            plans re-plan against the new access paths.  This fires
+            even when callers create indexes directly on the table
+            (e.g. the intranet directory), not just via SQL DDL.
     """
 
     def __init__(
-        self, schema: TableSchema, journal: Optional[JournalHook] = None
+        self,
+        schema: TableSchema,
+        journal: Optional[JournalHook] = None,
+        on_ddl: Optional[Callable[[], None]] = None,
     ) -> None:
         self.schema = schema
         self._rows: Dict[int, Tuple[Any, ...]] = {}
         self._next_rowid = 1
         self._indexes: Dict[str, Index] = {}
         self._journal = journal
+        self._on_ddl = on_ddl
         if schema.primary_key:
             self._create_index(
                 f"pk_{schema.name}", schema.primary_key, unique=True, sorted_=True
@@ -78,6 +87,8 @@ class Table:
         for rowid, row in self._rows.items():
             index.insert(self.schema.key_of(row, columns), rowid)
         self._indexes[name] = index
+        if self._on_ddl is not None:
+            self._on_ddl()
         return index
 
     def create_index(

@@ -108,6 +108,26 @@ class TestDml:
         db.execute("DELETE FROM people WHERE deal_id = 'd1'")
         assert db.execute("SELECT COUNT(*) FROM people").scalar() == 1
 
+    def test_update_plan_uses_primary_key(self, db):
+        result = db.execute(
+            "UPDATE deals SET value = 1.0 WHERE deal_id = 'd2'"
+        )
+        assert result.scalar() == 1
+        assert any("index lookup pk_deals" in line for line in result.plan)
+
+    def test_delete_plan_uses_index(self, db):
+        db.table("people").create_index("ix_people_deal", ("deal_id",))
+        result = db.execute("DELETE FROM people WHERE deal_id = 'd1'")
+        assert result.scalar() == 2
+        assert any("ix_people_deal" in line for line in result.plan)
+
+    def test_update_plan_full_scan_without_index(self, db):
+        result = db.execute(
+            "UPDATE deals SET value = 0.0 WHERE industry = 'Insurance'"
+        )
+        assert result.scalar() == 2
+        assert any("full scan deals" in line for line in result.plan)
+
     def test_fk_insert_violation(self, db):
         with pytest.raises(IntegrityError, match="foreign key"):
             db.execute(

@@ -150,3 +150,56 @@ class TestErrors:
                 "SELECT deal_id FROM deals d "
                 "JOIN contacts c ON c.deal_id = d.deal_id"
             )
+
+
+class TestExecutorEdgeCases:
+    """Result-shape edge cases the optimized paths must not disturb."""
+
+    def test_grouped_order_by_aggregate_alias(self, db):
+        result = db.execute(
+            "SELECT deal_id, COUNT(*) n FROM contacts "
+            "GROUP BY deal_id ORDER BY n DESC, deal_id"
+        )
+        assert result.rows == [("d1", 2), ("d2", 1), ("d3", 1)]
+
+    def test_grouped_order_by_alias_with_limit(self, db):
+        result = db.execute(
+            "SELECT deal_id, COUNT(*) n FROM contacts "
+            "GROUP BY deal_id ORDER BY n DESC, deal_id LIMIT 1"
+        )
+        assert result.rows == [("d1", 2)]
+
+    def test_distinct_limit_offset_interplay(self, db):
+        full = db.execute("SELECT DISTINCT role FROM contacts").column("role")
+        paged = db.execute(
+            "SELECT DISTINCT role FROM contacts LIMIT 2 OFFSET 1"
+        ).column("role")
+        assert paged == full[1:3]
+
+    def test_null_join_keys_never_match(self, db):
+        db.execute("INSERT INTO contacts VALUES (9, NULL, 'Ghost', 'DPE')")
+        try:
+            result = db.execute(
+                "SELECT c.nm FROM deals d "
+                "JOIN contacts c ON c.deal_id = d.deal_id"
+            )
+            assert "Ghost" not in result.column("nm")
+            left = db.execute(
+                "SELECT c.nm, d.name FROM contacts c "
+                "LEFT JOIN deals d ON d.deal_id = c.deal_id "
+                "WHERE c.cid = 9"
+            )
+            # NULL key keeps the left row but never finds a partner.
+            assert left.rows == [("Ghost", None)]
+        finally:
+            db.execute("DELETE FROM contacts WHERE cid = 9")
+
+    def test_left_join_predicate_pushdown_soundness(self, db):
+        # d3 has contacts but none named Sam; a naive pre-join filter on
+        # contacts would null-extend d3 and wrongly surface it here.
+        result = db.execute(
+            "SELECT d.deal_id FROM deals d "
+            "LEFT JOIN contacts c ON c.deal_id = d.deal_id "
+            "WHERE c.nm = 'Sam' ORDER BY d.deal_id"
+        )
+        assert result.column("deal_id") == ["d1", "d2"]

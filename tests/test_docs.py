@@ -172,6 +172,34 @@ class TestOperationsDocs:
                 f"docs/OPERATIONS.md no longer documents {metric!r}"
             )
 
+    def test_operations_names_the_db_metrics(self, operations):
+        for metric in (
+            "db.rows_scanned",
+            "db.join.build_rows",
+            "db.join.probe_rows",
+            "db.stmt_cache.hits",
+            "db.stmt_cache.misses",
+            "db.stmt_cache.invalidations",
+            "db.stmt_cache.evictions",
+            "REPRO_DB_PLAN_CACHE",
+            "REPRO_DB_PLANNER",
+        ):
+            assert metric in operations, (
+                f"docs/OPERATIONS.md no longer documents {metric!r}"
+            )
+
+    def test_architecture_covers_the_db_engine(self, architecture):
+        for needle in (
+            "naive_execute_select",
+            "index nested-loop",
+            "build-side selection",
+            "DDL epoch",
+            "EXPLAIN",
+        ):
+            assert needle in architecture, (
+                f"docs/ARCHITECTURE.md no longer mentions {needle!r}"
+            )
+
     def test_operations_documents_the_flags_and_knobs(self, operations):
         for needle in (
             "no-synopsis",
